@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the TPP
+// paper on the simulated substrate.  Each subcommand prints the rows or
+// series the paper reports and, when -out is set, writes CSV files for
+// plotting.
+//
+// Usage:
+//
+//	experiments [-out DIR] <experiment>
+//
+// Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 microburst ndb
+// wireless all
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// experiment is one reproducible artifact.
+type experiment struct {
+	name  string
+	about string
+	run   func(out *output) error
+}
+
+var experiments = []experiment{
+	{"table1", "instruction set semantics and TCPU cost", runTable1},
+	{"table2", "statistics namespaces via the unified memory map", runTable2},
+	{"fig1", "queue-size query walking a 3-switch path", runFig1},
+	{"fig2", "RCP* vs native RCP convergence on a 10 Mb/s bottleneck", runFig2},
+	{"fig3", "dataplane pipeline stages and forwarding latency", runFig3},
+	{"fig4", "TPP wire format overheads (§3.3)", runFig4},
+	{"fig5", "TCPU pipeline cycle model and the 300-cycle budget", runFig5},
+	{"microburst", "§2.1 micro-burst detection vs coarse polling", runMicroburst},
+	{"ndb", "§2.3 forwarding-plane debugger vs packet-copy baseline", runNdb},
+	{"wireless", "per-packet SNR sampling vs polling (§2 extension)", runWireless},
+	{"aimd", "extension: RCP* vs TCP-style AIMD head-to-head", runAIMD},
+	{"breakdown", "§2.1 per-hop queueing-latency breakdown", runBreakdown},
+	{"accounting", "§2.2 consistency: CSTORE vs racy read-modify-write", runAccounting},
+	{"fct", "extension: flow completion time, RCP* vs AIMD", runFCT},
+}
+
+func main() {
+	outDir := ""
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "-out" {
+		outDir = args[1]
+		args = args[2:]
+	}
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := args[0]
+
+	out := &output{dir: outDir, w: os.Stdout}
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("== %s: %s ==\n", e.name, e.about)
+			if err := e.run(out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			if err := e.run(out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-out DIR] <experiment>")
+	names := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		names = append(names, fmt.Sprintf("  %-11s %s", e.name, e.about))
+	}
+	names = append(names, "  all         run everything")
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(os.Stderr, n)
+	}
+}
+
+// output bundles the terminal stream and the optional CSV directory.
+type output struct {
+	dir string
+	w   io.Writer
+}
+
+func (o *output) printf(format string, args ...any) {
+	fmt.Fprintf(o.w, format, args...)
+}
+
+// csvFile opens DIR/name for writing, or returns nil when -out is
+// unset (callers skip CSV emission then).
+func (o *output) csvFile(name string) (*os.File, error) {
+	if o.dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(filepath.Join(o.dir, name))
+}

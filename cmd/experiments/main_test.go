@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes every registered experiment end to
+// end, with CSV emission into a temp dir, so the reproduction harness
+// can never silently rot.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	dir := t.TempDir()
+	for _, e := range experiments {
+		t.Run(e.name, func(t *testing.T) {
+			out := &output{dir: dir, w: io.Discard}
+			if err := e.run(out); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+		})
+	}
+	// Every experiment must have produced at least one CSV.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < len(experiments) {
+		t.Fatalf("only %d CSV files for %d experiments", len(entries), len(experiments))
+	}
+	for _, ent := range entries {
+		info, _ := ent.Info()
+		if info.Size() == 0 {
+			t.Errorf("empty CSV %s", ent.Name())
+		}
+		if filepath.Ext(ent.Name()) != ".csv" {
+			t.Errorf("unexpected artifact %s", ent.Name())
+		}
+	}
+}
+
+func TestExperimentNamesUniqueAndDescribed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.about == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.name)
+		}
+	}
+}

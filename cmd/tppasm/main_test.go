@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "prog.tpp")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sampleProg = `
+.mem 6
+PUSH [Switch:SwitchID]
+PUSH [Queue:QueueSize]
+`
+
+func TestCmdAsm(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("asm", []string{writeTemp(t, sampleProg)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"2 instructions", "6 words", "PUSH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("asm output missing %q:\n%s", want, out)
+		}
+	}
+	// The last line is the hex wire image.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	hexLine := lines[len(lines)-1]
+	if len(hexLine) != 2*(12+8+24) { // header + 2 ins + 6 words
+		t.Fatalf("hex length %d", len(hexLine))
+	}
+}
+
+func TestAsmThenDisasmRoundTrip(t *testing.T) {
+	var hexOut strings.Builder
+	if err := dispatch("asm", []string{writeTemp(t, sampleProg)}, &hexOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(hexOut.String()), "\n")
+	hexFile := writeTemp(t, lines[len(lines)-1])
+
+	var dis strings.Builder
+	if err := dispatch("disasm", []string{hexFile}, &dis); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".mode stack", ".mem 6",
+		"PUSH [Switch:SwitchID]", "PUSH [Queue:QueueSize]"} {
+		if !strings.Contains(dis.String(), want) {
+			t.Errorf("disasm missing %q:\n%s", want, dis.String())
+		}
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("run", []string{writeTemp(t, sampleProg)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "hop 1: executed=2") {
+		t.Fatalf("run output:\n%s", out)
+	}
+	if !strings.Contains(out, "ptr=24") { // 3 hops x 2 words x 4 bytes
+		t.Fatalf("run output missing final pointer:\n%s", out)
+	}
+	// Switch id 1 appears in the recorded memory.
+	if !strings.Contains(out, "mem[ 0] = 0x00000001 (1)") {
+		t.Fatalf("recorded memory wrong:\n%s", out)
+	}
+}
+
+func TestCmdSymbols(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("symbols", nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Switch:SwitchID", "Link:RCP-RateRegister", "rw", "ro"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("symbols output missing %q", want)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("frobnicate", nil, &b); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := dispatch("asm", []string{writeTemp(t, "BOGUS")}, &b); err == nil {
+		t.Error("bad program accepted")
+	}
+	if err := dispatch("asm", []string{"/nonexistent/file"}, &b); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := dispatch("disasm", []string{writeTemp(t, "zz-not-hex")}, &b); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if err := dispatch("disasm", []string{writeTemp(t, "0102")}, &b); err == nil {
+		t.Error("truncated wire image accepted")
+	}
+	if err := dispatch("run", []string{writeTemp(t, "BOGUS")}, &b); err == nil {
+		t.Error("bad run program accepted")
+	}
+}

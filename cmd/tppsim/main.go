@@ -1,0 +1,116 @@
+// Command tppsim sends a user-supplied tiny packet program across a
+// simulated topology and prints the fully executed program the receiver
+// echoed back, one hop per line — an interactive "what would the
+// network tell me" tool.
+//
+// Usage:
+//
+//	tppsim [-topo line|dumbbell] [-switches N] [-load] [file.tpp]
+//
+// The program is read from file.tpp (or stdin).  With -load, a
+// 20-packet burst is queued ahead of the probe so queue statistics are
+// non-trivial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/asic"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+	"repro/internal/rcp"
+	"repro/internal/topo"
+)
+
+func main() {
+	topoName := flag.String("topo", "line", "topology: line or dumbbell")
+	switches := flag.Int("switches", 3, "switch count (line topology)")
+	load := flag.Bool("load", false, "queue a burst ahead of the probe")
+	flag.Parse()
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	if err := run(*topoName, *switches, *load, src, os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// run executes the scenario; split out of main for testability.
+func run(topoName string, switches int, load bool, src string, w io.Writer) error {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+
+	sim := netsim.New(1)
+	edge := topo.Mbps(80, 10*netsim.Microsecond)
+	backbone := topo.Mbps(8, 10*netsim.Microsecond)
+
+	var n *topo.Network
+	var from, to *endhost.Host
+	switch topoName {
+	case "line":
+		n, from, to, _ = topo.Line(sim, switches, edge, backbone, asic.Config{})
+	case "dumbbell":
+		var senders, receivers []*endhost.Host
+		var a, b *asic.Switch
+		n, senders, receivers, a, b = topo.Dumbbell(sim, 2, edge, backbone, asic.Config{})
+		rcp.InitRateRegisters(a, b)
+		from, to = senders[0], receivers[0]
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+	n.PrimeL2(5 * netsim.Millisecond)
+
+	if load {
+		for i := 0; i < 20; i++ {
+			from.Send(from.NewPacket(to.MAC, to.IP, 5000, 5001, 986))
+		}
+	}
+
+	prober := endhost.NewProber(from)
+	var echoed *core.TPP
+	prober.Probe(to.MAC, to.IP, prog.TPP, func(e *core.TPP) { echoed = e })
+	sim.RunUntil(sim.Now() + netsim.Second)
+
+	if echoed == nil {
+		return fmt.Errorf("probe was lost (congestion?)")
+	}
+	fmt.Fprintf(w, "executed program returned: ptr=%d flags=%#x\n", echoed.Ptr, echoed.Flags)
+	perHop := len(prog.TPP.Ins)
+	if echoed.Mode == core.AddrStack && perHop > 0 {
+		hops := int(echoed.Ptr) / 4 / perHop
+		for h := 0; h < hops; h++ {
+			fmt.Fprintf(w, "hop %d:", h+1)
+			for k := 0; k < perHop; k++ {
+				fmt.Fprintf(w, " %d", echoed.Word(h*perHop+k))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for i := 0; i < echoed.MemWords(); i++ {
+		fmt.Fprintf(w, "mem[%2d] = 0x%08x (%d)\n", i, echoed.Word(i), echoed.Word(i))
+	}
+	return nil
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 || args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tppsim:", err)
+	os.Exit(1)
+}

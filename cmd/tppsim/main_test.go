@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const probe = `
+.mem 6
+PUSH [Switch:SwitchID]
+PUSH [Queue:QueueSize]
+`
+
+func TestRunLineLoaded(t *testing.T) {
+	var b strings.Builder
+	if err := run("line", 3, true, probe, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ptr=24") {
+		t.Fatalf("missing final pointer:\n%s", out)
+	}
+	for _, want := range []string{"hop 1:", "hop 2:", "hop 3:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// With -load, the first hop shows a queue (second value of hop 1).
+	line := out[strings.Index(out, "hop 1:"):]
+	line = line[:strings.Index(line, "\n")]
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[3] == "0" {
+		t.Fatalf("loaded hop 1 shows no queue: %q", line)
+	}
+}
+
+func TestRunDumbbell(t *testing.T) {
+	var b strings.Builder
+	if err := run("dumbbell", 0, false, ".mem 4\nPUSH [Link:RCP-RateRegister]", &b); err != nil {
+		t.Fatal(err)
+	}
+	// The dumbbell initializes rate registers to capacity; the probe
+	// crosses two switches.
+	if !strings.Contains(b.String(), "ptr=8") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run("ring", 3, false, probe, &b); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("line", 3, false, "NOT A PROGRAM", &b); err == nil {
+		t.Error("bad program accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// RCP* example: reproduce Figure 2 of the paper — three flows joining a
+// 10 Mb/s bottleneck at t=0, 10 and 20 seconds, rate-controlled
+// entirely from the end-hosts with TPPs, next to the native in-switch
+// RCP baseline.
+//
+//	go run ./examples/rcpstar
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rcp"
+)
+
+func main() {
+	fmt.Println("Figure 2: R(t)/C on the bottleneck (x: time, 30s; y: R/C)")
+	for _, v := range []rcp.Variant{rcp.VariantStar, rcp.VariantBaseline} {
+		res := rcp.RunFigure2(rcp.DefaultFig2Config(v))
+		fmt.Printf("\n%s:\n", label(v))
+		plot(res)
+		fmt.Printf("plateau means: %.3f (1 flow)  %.3f (2 flows)  %.3f (3 flows)\n",
+			res.MeanROverC(5, 10), res.MeanROverC(15, 20), res.MeanROverC(25, 30))
+	}
+	fmt.Println("\nideal fair shares: 1.000, 0.500, 0.333 — both variants converge within ~1s of each join")
+}
+
+func label(v rcp.Variant) string {
+	if v == rcp.VariantStar {
+		return "RCP* (TPP + end-host, §2.2)"
+	}
+	return "native RCP (in-switch baseline)"
+}
+
+// plot renders a coarse ASCII chart of R(t)/C.
+func plot(res rcp.Fig2Result) {
+	const rows, cols = 12, 60
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, s := range res.Samples {
+		x := int(s.T / 30 * cols)
+		y := int((1 - s.ROverC) * (rows - 1))
+		if x >= 0 && x < cols && y >= 0 && y < rows {
+			grid[y][x] = '*'
+		}
+	}
+	for i, row := range grid {
+		yval := 1 - float64(i)/(rows-1)
+		fmt.Printf("%5.2f |%s|\n", yval, string(row))
+	}
+	fmt.Printf("      0s%ss\n", strings.Repeat(" ", cols-4)+"30")
+}

@@ -1,0 +1,136 @@
+// Package accounting makes §2.2's consistency discussion concrete:
+// "With multiple concurrent writers to a shared switch memory, one
+// might wonder if there could be race conditions ... While this is a
+// legitimate concern for network tasks such as accounting ... we
+// support a conditional store instruction to provide a stronger
+// (linearizable) notion of consistency for memory updates."
+//
+// A Counter is a shared 32-bit tally in switch SRAM that multiple
+// end-hosts increment concurrently through the network.  Two update
+// protocols are provided:
+//
+//   - Atomic: optimistic concurrency over CSTORE — read the counter
+//     with one TPP, then attempt CSTORE(old, old+n) with another,
+//     retrying when a concurrent writer got there first.  No update is
+//     ever lost.
+//   - Racy: the naive LOAD-then-STORE pair.  Interleaved writers
+//     overwrite each other and updates vanish — the failure mode the
+//     CSTORE instruction exists to prevent.
+package accounting
+
+import (
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/mem"
+)
+
+// Protocol selects the update discipline.
+type Protocol int
+
+// The two update protocols.
+const (
+	Atomic Protocol = iota // CSTORE with retry
+	Racy                   // blind read-modify-write
+)
+
+// DefaultRetries bounds the CSTORE retry loop per Add.
+const DefaultRetries = 16
+
+// Counter is an end-host handle onto a shared SRAM tally reachable
+// through probes toward (dstMAC, dstIP); the counter lives at addr on
+// every switch along the path, gated to one switch by CEXEC.
+type Counter struct {
+	prober   *endhost.Prober
+	dstMAC   core.MAC
+	dstIP    uint32
+	addr     mem.Addr
+	switchID uint32
+	proto    Protocol
+
+	// Retries counts CSTORE conflicts that forced another round trip.
+	Retries uint64
+	// Failures counts Adds abandoned after DefaultRetries conflicts.
+	Failures uint64
+}
+
+// NewCounter builds a handle for the tally at SRAM address addr on the
+// switch with the given id, along the path toward (dstMAC, dstIP).
+func NewCounter(prober *endhost.Prober, dstMAC core.MAC, dstIP uint32,
+	switchID uint32, addr mem.Addr, proto Protocol) *Counter {
+	return &Counter{prober: prober, dstMAC: dstMAC, dstIP: dstIP,
+		addr: addr, switchID: switchID, proto: proto}
+}
+
+// Add increments the shared counter by n; done (optional) runs with the
+// value the counter held after this update was applied (or the last
+// observed value if the update was abandoned).
+func (c *Counter) Add(n uint32, done func(uint32)) {
+	c.read(func(old uint32) { c.attempt(old, n, DefaultRetries, done) })
+}
+
+// read fetches the current value: a one-instruction TPP gated to the
+// target switch.
+//
+//	CEXEC [Switch:SwitchID], 0xFFFFFFFF, $switchID
+//	LOAD  [addr], [Packet:2]
+func (c *Counter) read(fn func(uint32)) {
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
+		{Op: core.OpLOAD, A: uint16(c.addr), B: 2},
+	}, 3)
+	tpp.SetWord(0, 0xFFFFFFFF)
+	tpp.SetWord(1, c.switchID)
+	c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+		fn(e.Word(2))
+	})
+}
+
+func (c *Counter) attempt(old, n uint32, budget int, done func(uint32)) {
+	switch c.proto {
+	case Atomic:
+		// CEXEC gate, then CSTORE(addr, cond=old, src=old+n); the
+		// switch writes the observed old value into the result slot,
+		// which tells us whether we won.
+		tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
+			{Op: core.OpCSTORE, A: uint16(c.addr), B: 2},
+		}, 5)
+		tpp.SetWord(0, 0xFFFFFFFF)
+		tpp.SetWord(1, c.switchID)
+		tpp.SetWord(2, old)   // cond
+		tpp.SetWord(3, old+n) // src
+		c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+			observed := e.Word(4)
+			if observed == old {
+				if done != nil {
+					done(old + n)
+				}
+				return
+			}
+			// Lost the race: retry from the freshly observed value.
+			c.Retries++
+			if budget <= 1 {
+				c.Failures++
+				if done != nil {
+					done(observed)
+				}
+				return
+			}
+			c.attempt(observed, n, budget-1, done)
+		})
+	case Racy:
+		// Blind STORE of old+n: concurrent updates are silently lost.
+		tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
+			{Op: core.OpSTORE, A: uint16(c.addr), B: 2},
+		}, 3)
+		tpp.SetWord(0, 0xFFFFFFFF)
+		tpp.SetWord(1, c.switchID)
+		tpp.SetWord(2, old+n)
+		c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+			if done != nil {
+				done(old + n)
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+// Package aimd implements a TCP-style additive-increase /
+// multiplicative-decrease rate controller as the legacy comparator for
+// the congestion-control experiment: the paper motivates RCP precisely
+// against this behaviour ("TCP and its variants still remain the
+// dominant congestion control algorithms") — AIMD discovers the fair
+// share by filling queues and inducing loss, where RCP/RCP* read the
+// network's state directly.
+//
+// The sender paces sequence-numbered UDP datagrams; the receiver
+// returns periodic feedback (highest sequence seen, datagrams received
+// in the window); the sender halves its rate on detected loss and adds
+// one segment per feedback interval otherwise.
+package aimd
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+)
+
+// UDP ports of the AIMD experiment.
+const (
+	DataPort     = 8100
+	FeedbackPort = 8101
+)
+
+// SegmentSize is the payload bytes per datagram (1000-byte frames).
+const SegmentSize = 958
+
+// Params tunes the control loop.
+type Params struct {
+	// FeedbackEvery is the receiver's feedback period (an RTT-scale
+	// clock, like TCP's ACK feedback).
+	FeedbackEvery netsim.Time
+	// Decrease is the multiplicative back-off factor on loss.
+	Decrease float64
+	// MinRate floors the sending rate, bytes/sec.
+	MinRate float64
+}
+
+// DefaultParams mirrors TCP Reno-style behaviour at the Figure 2
+// timescales.
+func DefaultParams() Params {
+	return Params{
+		FeedbackEvery: 50 * netsim.Millisecond,
+		Decrease:      0.5,
+		MinRate:       SegmentSize, // one segment/sec
+	}
+}
+
+// Sender is one AIMD flow.
+type Sender struct {
+	sim    *netsim.Sim
+	host   *endhost.Host
+	dstMAC core.MAC
+	dstIP  uint32
+	params Params
+
+	rate    float64
+	running bool
+	seq     uint32
+
+	// budget, when positive, bounds the payload bytes; the sender
+	// stops itself and calls onDone after the last segment.
+	budget    uint64
+	sentBytes uint64
+	onDone    func()
+
+	// Telemetry.
+	Sent       uint64
+	Backoffs   uint64
+	Increments uint64
+}
+
+// NewSender builds a sender; feedback from the receiver arrives on
+// FeedbackPort and retunes the rate.
+func NewSender(sim *netsim.Sim, host *endhost.Host, dstMAC core.MAC, dstIP uint32, params Params, initialRate float64) *Sender {
+	s := &Sender{sim: sim, host: host, dstMAC: dstMAC, dstIP: dstIP,
+		params: params, rate: initialRate}
+	host.Handle(FeedbackPort, s.onFeedback)
+	return s
+}
+
+// Rate returns the current sending rate, bytes/sec.
+func (s *Sender) Rate() float64 { return s.rate }
+
+// SetBudget makes this a finite flow of the given payload size; fn (may
+// be nil) runs when the last segment has been handed to the NIC.
+func (s *Sender) SetBudget(bytes uint64, fn func()) {
+	s.budget = bytes
+	s.onDone = fn
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.sim.After(0, s.pump)
+}
+
+// Stop halts transmission.
+func (s *Sender) Stop() { s.running = false }
+
+func (s *Sender) pump() {
+	if !s.running {
+		return
+	}
+	if s.budget > 0 && s.sentBytes >= s.budget {
+		s.running = false
+		if s.onDone != nil {
+			s.onDone()
+		}
+		return
+	}
+	s.seq++
+	pkt := s.host.NewPacket(s.dstMAC, s.dstIP, DataPort, DataPort, 0)
+	pkt.Payload = binary.BigEndian.AppendUint32(nil, s.seq)
+	pkt.PadLen = SegmentSize - len(pkt.Payload)
+	s.host.Send(pkt)
+	s.Sent++
+	s.sentBytes += SegmentSize
+	gap := netsim.Time(float64(SegmentSize+42) / s.rate * float64(netsim.Second))
+	if gap < netsim.Microsecond {
+		gap = netsim.Microsecond
+	}
+	s.sim.After(gap, s.pump)
+}
+
+// onFeedback applies AIMD: halve on loss, add one segment per feedback
+// interval otherwise.
+func (s *Sender) onFeedback(pkt *core.Packet) {
+	if len(pkt.Payload) < 8 {
+		return
+	}
+	lost := binary.BigEndian.Uint32(pkt.Payload[4:8])
+	if lost > 0 {
+		s.rate *= s.params.Decrease
+		s.Backoffs++
+	} else {
+		// Additive increase: one segment per feedback interval, the
+		// rate-based analogue of TCP's one-MSS-per-RTT window growth.
+		s.rate += SegmentSize / s.params.FeedbackEvery.Seconds()
+		s.Increments++
+	}
+	if s.rate < s.params.MinRate {
+		s.rate = s.params.MinRate
+	}
+}
+
+// Receiver tracks sequence numbers and reports loss back to the sender.
+type Receiver struct {
+	host *endhost.Host
+	sim  *netsim.Sim
+
+	srcMAC core.MAC
+	srcIP  uint32
+	have   bool
+
+	maxSeq   uint32
+	lastMax  uint32
+	received uint32
+
+	// Bytes counts delivered payload, for goodput measurement.
+	Bytes uint64
+}
+
+// NewReceiver installs the receiver side on host.
+func NewReceiver(sim *netsim.Sim, host *endhost.Host, params Params) *Receiver {
+	r := &Receiver{host: host, sim: sim}
+	host.Handle(DataPort, r.onData)
+	sim.Every(sim.Now()+params.FeedbackEvery, params.FeedbackEvery, r.feedback)
+	return r
+}
+
+// OnData feeds one data packet into the loss tracker; exported so
+// experiment harnesses that wrap the data-port handler (to measure
+// goodput) can keep the feedback loop intact.
+func (r *Receiver) OnData(pkt *core.Packet) { r.onData(pkt) }
+
+func (r *Receiver) onData(pkt *core.Packet) {
+	if len(pkt.Payload) < 4 || pkt.IP == nil {
+		return
+	}
+	seq := binary.BigEndian.Uint32(pkt.Payload)
+	if seq > r.maxSeq {
+		r.maxSeq = seq
+	}
+	r.received++
+	r.Bytes += uint64(pkt.PayloadLen())
+	r.srcMAC, r.srcIP = pkt.Eth.Src, pkt.IP.Src
+	r.have = true
+}
+
+func (r *Receiver) feedback() {
+	if !r.have {
+		return
+	}
+	expected := r.maxSeq - r.lastMax
+	var lost uint32
+	if expected > r.received {
+		lost = expected - r.received
+	}
+	r.lastMax = r.maxSeq
+	r.received = 0
+
+	fb := r.host.NewPacket(r.srcMAC, r.srcIP, FeedbackPort, FeedbackPort, 0)
+	fb.Payload = binary.BigEndian.AppendUint32(nil, r.maxSeq)
+	fb.Payload = binary.BigEndian.AppendUint32(fb.Payload, lost)
+	r.host.Send(fb)
+}

@@ -1,0 +1,148 @@
+package aimd
+
+import (
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+	"repro/internal/rcp"
+	"repro/internal/topo"
+)
+
+// Scheme names a congestion-control implementation under comparison.
+type Scheme string
+
+// The compared schemes.
+const (
+	SchemeAIMD    Scheme = "aimd"
+	SchemeRCPStar Scheme = "rcpstar"
+)
+
+// CompareConfig parameterizes the AIMD-vs-RCP* comparison: the Figure 2
+// dumbbell, identical for both schemes.
+type CompareConfig struct {
+	Duration       netsim.Time
+	FlowStarts     []netsim.Time
+	BottleneckMbps float64
+	EdgeMbps       float64
+	Seed           int64
+}
+
+// DefaultCompareConfig mirrors the Figure 2 setup.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{
+		Duration:       30 * netsim.Second,
+		FlowStarts:     []netsim.Time{0, 10 * netsim.Second, 20 * netsim.Second},
+		BottleneckMbps: 10,
+		EdgeMbps:       100,
+		Seed:           1,
+	}
+}
+
+// CompareResult summarizes one scheme's run.
+type CompareResult struct {
+	Scheme Scheme
+	// FlowGoodput is each flow's goodput over the final five seconds,
+	// bytes/sec.
+	FlowGoodput []float64
+	// JainIndex is Jain's fairness index over FlowGoodput.
+	JainIndex float64
+	// MeanQueueBytes is the time-averaged bottleneck occupancy.
+	MeanQueueBytes float64
+	// DropPkts counts bottleneck drops over the whole run.
+	DropPkts uint64
+	// Utilization is delivered payload over capacity in the final
+	// five seconds.
+	Utilization float64
+}
+
+// RunComparison runs one scheme on the shared scenario.
+func RunComparison(scheme Scheme, cfg CompareConfig) CompareResult {
+	sim := netsim.New(cfg.Seed)
+	n := topo.NewNetwork(sim)
+	capacityBytes := cfg.BottleneckMbps * 1e6 / 8
+	queueCap := int(capacityBytes * 0.1) // one 100ms BDP
+	swCfg := asic.Config{Ports: 8, QueueCapBytes: queueCap}
+	a := n.AddSwitch(swCfg)
+	b := n.AddSwitch(swCfg)
+	aPort, _ := n.LinkSwitches(a, b, topo.Mbps(cfg.BottleneckMbps, 10*netsim.Millisecond))
+	edge := topo.Mbps(cfg.EdgeMbps, netsim.Millisecond)
+
+	flows := len(cfg.FlowStarts)
+	senders := make([]*endhost.Host, flows)
+	receivers := make([]*endhost.Host, flows)
+	for i := 0; i < flows; i++ {
+		senders[i] = n.AddHost()
+		n.LinkHost(senders[i], a, edge)
+	}
+	for i := 0; i < flows; i++ {
+		receivers[i] = n.AddHost()
+		n.LinkHost(receivers[i], b, edge)
+	}
+	n.PrimeL2(50 * netsim.Millisecond)
+
+	recvBytes := make([]uint64, flows)
+	switch scheme {
+	case SchemeAIMD:
+		params := DefaultParams()
+		for i := 0; i < flows; i++ {
+			i := i
+			rcv := NewReceiver(sim, receivers[i], params)
+			receivers[i].Handle(DataPort, func(p *core.Packet) {
+				recvBytes[i] += uint64(p.PayloadLen())
+				rcv.onData(p)
+			})
+			snd := NewSender(sim, senders[i], receivers[i].MAC, receivers[i].IP,
+				params, float64(SegmentSize)/params.FeedbackEvery.Seconds())
+			sim.At(sim.Now()+cfg.FlowStarts[i], snd.Start)
+		}
+	case SchemeRCPStar:
+		rcp.InitRateRegisters(a, b)
+		for i := 0; i < flows; i++ {
+			i := i
+			receivers[i].Handle(rcp.StarDataPort, func(p *core.Packet) {
+				recvBytes[i] += uint64(p.PayloadLen())
+			})
+			ctl := rcp.NewStarController(sim, senders[i],
+				endhost.NewProber(senders[i]),
+				receivers[i].MAC, receivers[i].IP, rcp.DefaultParams())
+			sim.At(sim.Now()+cfg.FlowStarts[i], ctl.Start)
+		}
+	default:
+		panic("aimd: unknown scheme " + string(scheme))
+	}
+
+	// Sample the bottleneck queue through the run.
+	var qSum float64
+	var qCount int
+	bn := a.Port(aPort)
+	sim.Every(sim.Now()+10*netsim.Millisecond, 10*netsim.Millisecond, func() {
+		qSum += float64(bn.QueueBytes())
+		qCount++
+	})
+
+	start := sim.Now()
+	final := cfg.Duration - 5*netsim.Second
+	finalStart := make([]uint64, flows)
+	sim.At(start+final, func() { copy(finalStart, recvBytes) })
+	sim.RunUntil(start + cfg.Duration)
+
+	res := CompareResult{Scheme: scheme}
+	var sum, sumsq, total float64
+	for i := 0; i < flows; i++ {
+		g := float64(recvBytes[i]-finalStart[i]) / 5
+		res.FlowGoodput = append(res.FlowGoodput, g)
+		sum += g
+		sumsq += g * g
+		total += g
+	}
+	if sumsq > 0 {
+		res.JainIndex = sum * sum / (float64(flows) * sumsq)
+	}
+	if qCount > 0 {
+		res.MeanQueueBytes = qSum / float64(qCount)
+	}
+	res.DropPkts = bn.Queue(0).DropPkts
+	res.Utilization = total / capacityBytes
+	return res
+}

@@ -1,0 +1,186 @@
+package asic
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+)
+
+// Port is one switch port: the egress side owns the queues and the
+// transmit channel; the ingress side feeds the pipeline and maintains
+// receive counters.
+type Port struct {
+	sw *Switch
+	id int
+
+	ch     *netsim.Channel // egress channel; nil while unwired
+	queues []*Queue
+
+	// Trusted marks whether TPPs arriving on this port are executed
+	// and forwarded.  Untrusted edge ports strip TPPs (§4: "the
+	// ingress switches at the network edge ... can strip TPPs
+	// injected by VMs, or those TPPs received from the Internet").
+	trusted bool
+
+	// Cumulative byte counters (wrap in the 32-bit register view).
+	rxBytes uint64
+	txBytes uint64
+
+	rxUtil *meter // traffic entering the egress link (enqueue rate)
+	txUtil *meter // traffic leaving on the wire
+
+	// scratch is the per-port task scratch area ([Link:Scratch*]);
+	// word 0 is the conventional RCP rate register.
+	scratch [mem.PortScratchWords]uint32
+
+	// snr is the wireless channel SNR register in centi-dB, updated
+	// by access-point models (internal/wireless).
+	snr uint32
+}
+
+// ID returns the port number.
+func (p *Port) ID() int { return p.id }
+
+// Trusted reports whether TPPs may enter on this port.
+func (p *Port) Trusted() bool { return p.trusted }
+
+// SetTrusted marks the port as a trusted (internal) or untrusted (edge)
+// port for TPP admission.
+func (p *Port) SetTrusted(v bool) { p.trusted = v }
+
+// Wire attaches the egress channel; the channel's idle callback drives
+// the output scheduler.
+func (p *Port) Wire(ch *netsim.Channel) {
+	p.ch = ch
+	ch.SetOnIdle(p.kick)
+}
+
+// Wired reports whether the port has an egress channel.
+func (p *Port) Wired() bool { return p.ch != nil }
+
+// Channel returns the egress channel (nil while unwired).
+func (p *Port) Channel() *netsim.Channel { return p.ch }
+
+// Queue returns egress queue i.
+func (p *Port) Queue(i int) *Queue { return p.queues[i] }
+
+// Queues returns the number of egress queues.
+func (p *Port) Queues() int { return len(p.queues) }
+
+// QueueBytes returns the instantaneous occupancy summed over the
+// port's queues — the [Link:QueueSize] register.
+func (p *Port) QueueBytes() int {
+	n := 0
+	for _, q := range p.queues {
+		n += q.Bytes()
+	}
+	return n
+}
+
+// Scratch returns task scratch word i ([Link:Scratch<i>]).
+func (p *Port) Scratch(i int) uint32 { return p.scratch[i] }
+
+// SetScratch writes task scratch word i; the control-plane agent uses
+// this to initialize task state (e.g. seeding the RCP rate register
+// with the link capacity, §2.2 footnote).
+func (p *Port) SetScratch(i int, v uint32) { p.scratch[i] = v }
+
+// SetSNR updates the wireless SNR register (centi-dB).
+func (p *Port) SetSNR(v uint32) { p.snr = v }
+
+// SNR reads the wireless SNR register.
+func (p *Port) SNR() uint32 { return p.snr }
+
+// RXUtil returns the smoothed rate of traffic entering the egress link
+// (bytes/sec) — the [Link:RX-Utilization] register.
+func (p *Port) RXUtil() uint32 { return p.rxUtil.Rate() }
+
+// TXUtil returns the smoothed transmitted rate (bytes/sec).
+func (p *Port) TXUtil() uint32 { return p.txUtil.Rate() }
+
+// DropBytes returns cumulative bytes dropped across the port's queues.
+func (p *Port) DropBytes() uint64 {
+	var n uint64
+	for _, q := range p.queues {
+		n += q.DropBytes
+	}
+	return n
+}
+
+// EnqBytes returns cumulative bytes enqueued across the port's queues.
+func (p *Port) EnqBytes() uint64 {
+	var n uint64
+	for _, q := range p.queues {
+		n += q.EnqBytes
+	}
+	return n
+}
+
+// enqueue commits a packet to egress queue qid, then kicks the
+// scheduler.  It returns false when the queue dropped the packet.
+func (p *Port) enqueue(pkt *core.Packet, qid int) bool {
+	if qid < 0 || qid >= len(p.queues) {
+		qid = 0
+	}
+	wire := pkt.WireLen()
+	if !p.queues[qid].Enqueue(pkt) {
+		return false
+	}
+	p.rxUtil.Add(wire) // demand entering the egress link
+	p.kick()
+	return true
+}
+
+// kick starts a transmission if the channel is idle and a packet is
+// waiting.  The scheduler is strict priority: queue 0 first.
+func (p *Port) kick() {
+	if p.ch == nil || p.ch.Busy() {
+		return
+	}
+	for _, q := range p.queues {
+		if pkt := q.Dequeue(); pkt != nil {
+			wire := pkt.WireLen()
+			p.txBytes += uint64(wire)
+			p.txUtil.Add(wire)
+			p.ch.Send(pkt)
+			return
+		}
+	}
+}
+
+// tick advances the port's rate meters by one statistics window.
+func (p *Port) tick() {
+	p.rxUtil.Tick()
+	p.txUtil.Tick()
+}
+
+// stat reads per-port statistic word idx for the TPP memory map.
+func (p *Port) stat(idx int) (uint32, bool) {
+	switch idx {
+	case mem.PortQueueSize:
+		return uint32(p.QueueBytes()), true
+	case mem.PortRXUtil:
+		return p.rxUtil.Rate(), true
+	case mem.PortTXUtil:
+		return p.txUtil.Rate(), true
+	case mem.PortRXBytes:
+		return uint32(p.rxBytes), true
+	case mem.PortTXBytes:
+		return uint32(p.txBytes), true
+	case mem.PortDropBytes:
+		return uint32(p.DropBytes()), true
+	case mem.PortEnqBytes:
+		return uint32(p.EnqBytes()), true
+	case mem.PortCapacity:
+		if p.ch == nil {
+			return 0, true
+		}
+		return p.ch.RateBytes(), true
+	case mem.PortSNR:
+		return p.snr, true
+	}
+	if idx >= mem.PortScratchBase && idx < mem.PortScratchBase+mem.PortScratchWords {
+		return p.scratch[idx-mem.PortScratchBase], true
+	}
+	return 0, false
+}

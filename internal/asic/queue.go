@@ -1,0 +1,68 @@
+package asic
+
+import "repro/internal/core"
+
+// Queue is one drop-tail egress queue.  The ASIC memory manager
+// "already keeps track of per-port, per-queue occupancies in its
+// registers" (§2.1); those registers are the exported counters here.
+type Queue struct {
+	capBytes int
+
+	pkts  []*core.Packet
+	bytes int
+
+	// Cumulative counters, exposed through the Queue namespace.
+	EnqBytes  uint64
+	DropBytes uint64
+	EnqPkts   uint64
+	DropPkts  uint64
+	DeqBytes  uint64
+	DeqPkts   uint64
+}
+
+// NewQueue builds a queue holding at most capBytes of packet data.
+func NewQueue(capBytes int) *Queue {
+	return &Queue{capBytes: capBytes}
+}
+
+// CapBytes returns the configured capacity.
+func (q *Queue) CapBytes() int { return q.capBytes }
+
+// Bytes returns the instantaneous occupancy — the value §2.1's
+// micro-burst probe reads: "they are recorded the instant the packet
+// traversed the switch".
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Enqueue appends the packet if it fits; otherwise the packet is
+// dropped (drop-tail) and false is returned.
+func (q *Queue) Enqueue(p *core.Packet) bool {
+	n := p.WireLen()
+	if q.bytes+n > q.capBytes {
+		q.DropBytes += uint64(n)
+		q.DropPkts++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += n
+	q.EnqBytes += uint64(n)
+	q.EnqPkts++
+	return true
+}
+
+// Dequeue removes and returns the head packet, or nil when empty.
+func (q *Queue) Dequeue() *core.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	n := p.WireLen()
+	q.bytes -= n
+	q.DeqBytes += uint64(n)
+	q.DeqPkts++
+	return p
+}

@@ -1,0 +1,354 @@
+package asic
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/l2"
+	"repro/internal/l3"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/tcam"
+	"repro/internal/tcpu"
+)
+
+// Config parameterizes a switch.
+type Config struct {
+	// ID is the administratively assigned switch id ([Switch:SwitchID]).
+	ID uint32
+	// Ports is the port count.
+	Ports int
+	// QueuesPerPort selects the number of egress queues per port
+	// (default 1; the scheduler serves them in strict priority).
+	QueuesPerPort int
+	// QueueCapBytes is each egress queue's capacity (default 150000,
+	// one hundred 1500-byte frames).
+	QueueCapBytes int
+	// PipelineLatency is the fixed parse+lookup latency before a
+	// packet reaches the queues (default 500ns, of which the §3.3
+	// TCPU budget is a part).
+	PipelineLatency netsim.Time
+	// StatsInterval is the housekeeping period for utilization meters
+	// (default 10ms).
+	StatsInterval netsim.Time
+	// UtilGain is the EWMA gain of the utilization meters (default
+	// 0.5).
+	UtilGain float64
+	// TCPU configures the tiny CPU (instruction limit).
+	TCPU tcpu.Config
+	// L2AgeNs is the MAC table entry lifetime in nanoseconds.
+	L2AgeNs int64
+
+	// ECNThresholdBytes enables the fixed-function ECN comparator of
+	// §4 ("a router stamps a bit in the IP header whenever the egress
+	// queue occupancy exceeds a configurable threshold"): ECN-capable
+	// packets are marked CE when the egress queue is at or above this
+	// many bytes.  Zero disables marking.
+	ECNThresholdBytes int
+	// RecordRoute enables the fixed-function IP Record Route
+	// comparator of §4: switches append their id to a packet's RR
+	// option.  (Real routers record interface IPs; our switches have
+	// none, so the id stands in.)
+	RecordRoute bool
+}
+
+func (c *Config) fill() {
+	if c.Ports <= 0 {
+		c.Ports = 4
+	}
+	if c.QueuesPerPort <= 0 {
+		c.QueuesPerPort = 1
+	}
+	if c.QueueCapBytes <= 0 {
+		c.QueueCapBytes = 150_000
+	}
+	if c.PipelineLatency <= 0 {
+		c.PipelineLatency = 500 * netsim.Nanosecond
+	}
+	if c.StatsInterval <= 0 {
+		c.StatsInterval = 10 * netsim.Millisecond
+	}
+	if c.UtilGain <= 0 || c.UtilGain > 1 {
+		c.UtilGain = 0.5
+	}
+}
+
+// ForwardFunc observes every packet the switch forwards; the baseline
+// ndb implementation (§2.3) attaches here to generate its truncated
+// per-hop packet copies.
+type ForwardFunc func(pkt *core.Packet, inPort, outPort int)
+
+// Switch is a TPP-capable switch.
+type Switch struct {
+	sim *netsim.Sim
+	cfg Config
+
+	ports []*Port
+	l2    *l2.Table
+	l3    *l3.Table
+	tcam  *tcam.Table
+
+	alloc *mem.Allocator
+	sram  []uint32
+	busMu sync.Mutex // serializes TPP stores, making CSTORE linearizable
+
+	packets      uint64 // packets switched
+	tppsExecuted uint64
+	tppsStripped uint64
+	ttlDrops     uint64
+	blackholes   uint64 // packets with no forwarding decision
+
+	mirror ForwardFunc
+
+	// LastTCPU holds the result of the most recent TPP execution,
+	// for tests and the cycle-model experiments.
+	LastTCPU tcpu.Result
+}
+
+// New builds a switch and registers its housekeeping ticker with the
+// simulator.
+func New(sim *netsim.Sim, cfg Config) *Switch {
+	cfg.fill()
+	s := &Switch{
+		sim:   sim,
+		cfg:   cfg,
+		l2:    l2.New(cfg.L2AgeNs),
+		l3:    l3.New(),
+		tcam:  tcam.New(),
+		alloc: mem.NewAllocator(),
+		sram:  make([]uint32, mem.SRAMWords),
+	}
+	for i := 0; i < cfg.Ports; i++ {
+		p := &Port{
+			sw:      s,
+			id:      i,
+			trusted: true,
+			rxUtil:  newMeter(cfg.UtilGain, cfg.StatsInterval.Seconds()),
+			txUtil:  newMeter(cfg.UtilGain, cfg.StatsInterval.Seconds()),
+		}
+		for q := 0; q < cfg.QueuesPerPort; q++ {
+			p.queues = append(p.queues, NewQueue(cfg.QueueCapBytes))
+		}
+		s.ports = append(s.ports, p)
+	}
+	sim.Every(cfg.StatsInterval, cfg.StatsInterval, s.housekeeping)
+	return s
+}
+
+// ID returns the switch id.
+func (s *Switch) ID() uint32 { return s.cfg.ID }
+
+// Ports returns the port count.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// L3 exposes the LPM table for control-plane configuration.
+func (s *Switch) L3() *l3.Table { return s.l3 }
+
+// TCAM exposes the flow table for control-plane configuration.
+func (s *Switch) TCAM() *tcam.Table { return s.tcam }
+
+// Allocator exposes the control-plane SRAM allocator.
+func (s *Switch) Allocator() *mem.Allocator { return s.alloc }
+
+// SRAM reads scratch word i directly (control-plane access).
+func (s *Switch) SRAM(i int) uint32 { return s.sram[i] }
+
+// SetSRAM writes scratch word i directly (control-plane access).
+func (s *Switch) SetSRAM(i int, v uint32) { s.sram[i] = v }
+
+// SetMirror installs the forwarding observer.
+func (s *Switch) SetMirror(fn ForwardFunc) { s.mirror = fn }
+
+// PacketsSwitched returns the cumulative forwarded-packet count.
+func (s *Switch) PacketsSwitched() uint64 { return s.packets }
+
+// TPPsExecuted returns how many TPPs the TCPU has run.
+func (s *Switch) TPPsExecuted() uint64 { return s.tppsExecuted }
+
+// TPPsStripped returns how many TPPs were removed at untrusted ports.
+func (s *Switch) TPPsStripped() uint64 { return s.tppsStripped }
+
+func (s *Switch) housekeeping() {
+	for _, p := range s.ports {
+		p.tick()
+	}
+	s.l2.Expire(int64(s.sim.Now()))
+}
+
+// Receive implements netsim.Receiver: the packet's last bit arrived on
+// port.  The fixed pipeline latency covers the parser and lookup
+// stages; forwarding happens after it elapses.
+func (s *Switch) Receive(pkt *core.Packet, port int) {
+	p := s.ports[port]
+	p.rxBytes += uint64(pkt.WireLen())
+
+	// §4 security: untrusted edge ports strip TPPs.
+	if pkt.TPP != nil && !p.trusted {
+		pkt = stripTPP(pkt)
+		s.tppsStripped++
+		if pkt == nil {
+			return // nothing remained to forward
+		}
+	}
+
+	pkt.Meta = core.Metadata{
+		UID:        pkt.Meta.UID,
+		InPort:     uint32(port),
+		EnqueuedAt: int64(s.sim.Now()),
+	}
+	s.sim.After(s.cfg.PipelineLatency, func() { s.forward(pkt, port) })
+}
+
+// stripTPP removes the TPP section, leaving the encapsulated payload as
+// an ordinary frame; a bare TPP with no payload vanishes entirely.
+func stripTPP(pkt *core.Packet) *core.Packet {
+	if pkt.IP == nil {
+		return nil
+	}
+	out := *pkt
+	out.TPP = nil
+	out.Eth.Type = core.EtherTypeIPv4
+	out.TPP = nil
+	return &out
+}
+
+// forward runs the lookup pipeline and commits the packet to its
+// egress queue(s).
+func (s *Switch) forward(pkt *core.Packet, inPort int) {
+	s.packets++
+
+	// Lookup precedence mirrors §3.1's pipeline: the TCAM slices see
+	// the packet first, then L3 LPM, then the L2 hash table.
+	if out, meta, decided := s.lookupTCAM(pkt, inPort); decided {
+		if out < 0 {
+			return // dropped by rule
+		}
+		pkt.Meta.MatchedEntry = meta.ID
+		pkt.Meta.MatchedVer = meta.Version
+		s.deliver(pkt, inPort, out)
+		return
+	}
+
+	if pkt.IP != nil && s.l3.Size() > 0 {
+		if rt, ok := s.l3.Lookup(pkt.IP.Dst); ok {
+			if pkt.IP.TTL <= 1 {
+				s.ttlDrops++
+				return
+			}
+			pkt.IP.TTL--
+			s.deliver(pkt, inPort, rt.OutPort)
+			return
+		}
+	}
+	s.forwardL2(pkt, inPort)
+}
+
+func (s *Switch) lookupTCAM(pkt *core.Packet, inPort int) (out int, e tcam.Entry, decided bool) {
+	if s.tcam.Size() == 0 || pkt.IP == nil {
+		return 0, tcam.Entry{}, false
+	}
+	key := tcam.Key{
+		tcam.KeyDstIP:  pkt.IP.Dst,
+		tcam.KeySrcIP:  pkt.IP.Src,
+		tcam.KeyProto:  uint32(pkt.IP.Proto),
+		tcam.KeyInPort: uint32(inPort),
+	}
+	e, ok := s.tcam.Match(key)
+	if !ok {
+		return 0, tcam.Entry{}, false
+	}
+	// Table 2: "alternate routes for a packet" — every installed rule
+	// covering this packet is a forwarding alternative.
+	pkt.Meta.AltRoutes = uint32(s.tcam.MatchCount(key))
+	if e.Action.Drop {
+		return -1, e, true
+	}
+	return e.Action.OutPort, e, true
+}
+
+func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
+	now := int64(s.sim.Now())
+	s.l2.Learn(pkt.Eth.Src, inPort, now)
+	if !pkt.Eth.Dst.IsBroadcast() {
+		if out, ok := s.l2.Lookup(pkt.Eth.Dst, now); ok {
+			s.deliver(pkt, inPort, out)
+			return
+		}
+	}
+	// Flood: every wired port except the ingress, each copy carrying
+	// (and executing) its own TPP.
+	flooded := false
+	for _, p := range s.ports {
+		if p.id == inPort || !p.Wired() {
+			continue
+		}
+		s.deliver(pkt.Clone(), inPort, p.id)
+		flooded = true
+	}
+	if !flooded {
+		s.blackholes++
+	}
+}
+
+// deliver finalizes metadata, runs the TCPU, and enqueues the packet on
+// its egress port.
+func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
+	if outPort < 0 || outPort >= len(s.ports) || !s.ports[outPort].Wired() {
+		s.blackholes++
+		return
+	}
+	pkt.Meta.OutPort = uint32(outPort)
+	pkt.Meta.QueueID = s.classify(pkt)
+
+	if s.mirror != nil {
+		s.mirror(pkt, inPort, outPort)
+	}
+
+	// Fixed-function dataplane features (§4 comparators).
+	if pkt.IP != nil {
+		if s.cfg.ECNThresholdBytes > 0 && pkt.IP.TOS&core.ECNCapable != 0 &&
+			s.ports[outPort].QueueBytes() >= s.cfg.ECNThresholdBytes {
+			pkt.IP.TOS |= core.ECNCE
+		}
+		if s.cfg.RecordRoute && len(pkt.IP.Options) > 0 {
+			core.RecordRouteAppend(pkt.IP.Options, s.cfg.ID)
+		}
+	}
+
+	// "The tiny CPU (TCPU) that processes TPPs is placed just before
+	// the packet is stored in memory."  Non-TPP packets are ignored
+	// by the TCPU.
+	if pkt.TPP != nil && pkt.Eth.Type == core.EtherTypeTPP {
+		v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
+		s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
+		s.tppsExecuted++
+	}
+
+	s.ports[outPort].enqueue(pkt, int(pkt.Meta.QueueID))
+}
+
+// classify selects the egress queue: the top three TOS bits, clamped to
+// the configured queue count (everything defaults to queue 0).
+func (s *Switch) classify(pkt *core.Packet) uint32 {
+	if pkt.IP == nil || s.cfg.QueuesPerPort == 1 {
+		return 0
+	}
+	q := int(pkt.IP.TOS >> 5)
+	if q >= s.cfg.QueuesPerPort {
+		q = s.cfg.QueuesPerPort - 1
+	}
+	return uint32(q)
+}
+
+// Wire connects port i to ch (the egress direction).  Panics on an
+// invalid port: mis-wiring is a topology construction bug.
+func (s *Switch) Wire(i int, ch *netsim.Channel) {
+	if i < 0 || i >= len(s.ports) {
+		panic(fmt.Sprintf("asic: wiring invalid port %d", i))
+	}
+	s.ports[i].Wire(ch)
+}

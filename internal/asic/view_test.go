@@ -1,0 +1,143 @@
+package asic_test
+
+import (
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/tcam"
+	"repro/internal/topo"
+)
+
+type condStorer interface {
+	CondStore(mem.Addr, uint32, uint32) (uint32, error)
+}
+
+func TestAbsoluteWindowScratchStores(t *testing.T) {
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4})
+	h := n.AddHost()
+	n.LinkHost(h, sw, edge)
+
+	view := sw.ViewForTesting(nil, 0)
+	// Store through the absolute window to port 1's scratch while the
+	// packet context is port 0.
+	abs := mem.PortAbs(1, mem.PortScratchBase+2)
+	if err := view.Store(abs, 555); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Port(1).Scratch(2); got != 555 {
+		t.Fatalf("port 1 scratch = %d", got)
+	}
+	if sw.Port(0).Scratch(2) != 0 {
+		t.Fatal("context port written instead of absolute target")
+	}
+	// Read it back both ways.
+	v1, _ := view.Load(abs)
+	v2, _ := sw.ViewForTesting(nil, 1).Load(mem.PortBase + mem.PortScratchBase + 2)
+	if v1 != 555 || v2 != 555 {
+		t.Fatalf("reads: abs=%d rel=%d", v1, v2)
+	}
+	// A store to an absolute port beyond the port count faults.
+	if err := view.Store(mem.PortAbs(9, mem.PortScratchBase), 1); err == nil {
+		t.Fatal("store beyond port count accepted")
+	}
+}
+
+func TestCondStoreErrorPaths(t *testing.T) {
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4})
+	h := n.AddHost()
+	n.LinkHost(h, sw, edge)
+	cs := sw.ViewForTesting(nil, 0).(condStorer)
+
+	if _, err := cs.CondStore(mem.QueueBase, 0, 1); err == nil {
+		t.Fatal("CondStore to read-only statistic accepted")
+	}
+	if _, err := cs.CondStore(mem.SwitchBase+0xF0, 0, 1); err == nil {
+		t.Fatal("CondStore to unmapped word accepted")
+	}
+	// Mismatch leaves the word untouched but reports the old value.
+	a := mem.SRAMBase + 7
+	sw.SetSRAM(7, 42)
+	old, err := cs.CondStore(a, 1, 99)
+	if err != nil || old != 42 || sw.SRAM(7) != 42 {
+		t.Fatalf("mismatched CondStore: old=%d sram=%d err=%v", old, sw.SRAM(7), err)
+	}
+}
+
+func TestPortAccessors(t *testing.T) {
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4, QueuesPerPort: 2})
+	h := n.AddHost()
+	p := n.LinkHost(h, sw, edge)
+
+	port := sw.Port(p)
+	if port.ID() != p || !port.Trusted() || !port.Wired() {
+		t.Fatal("port accessors wrong")
+	}
+	if port.Queues() != 2 || port.Queue(1) == nil {
+		t.Fatal("queue accessors wrong")
+	}
+	if port.Channel().Rate() != edge.RateBps {
+		t.Fatal("channel accessor wrong")
+	}
+	port.SetSNR(2500)
+	if port.SNR() != 2500 {
+		t.Fatal("SNR register wrong")
+	}
+	port.SetScratch(3, 9)
+	if port.Scratch(3) != 9 {
+		t.Fatal("scratch accessor wrong")
+	}
+	if port.RXUtil() != 0 || port.TXUtil() != 0 {
+		t.Fatal("fresh meters nonzero")
+	}
+	if sw.Now() != sim.Now() {
+		t.Fatal("clock accessor wrong")
+	}
+	if sw.Allocator() == nil {
+		t.Fatal("allocator accessor wrong")
+	}
+}
+
+func TestWirePanicsOnBadPort(t *testing.T) {
+	sim := netsim.New(1)
+	sw := asic.New(sim, asic.Config{Ports: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sw.Wire(5, netsim.NewChannel(sim, 1000, 0, sw, 0))
+}
+
+func TestUnwiredEgressIsBlackhole(t *testing.T) {
+	// A TCAM rule pointing at an unwired port silently blackholes the
+	// packet (and the switch counts it) instead of crashing.
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4})
+	h1, h2 := n.AddHost(), n.AddHost()
+	n.LinkHost(h1, sw, edge)
+	n.LinkHost(h2, sw, edge)
+	n.PrimeL2(time1ms())
+
+	// Route h2's traffic to port 3, which has no channel.
+	v, m := dstRule(h2.IP)
+	sw.TCAM().Insert(10, v, m, actionOut(3))
+	before := h2.Received
+	h1.Send(h1.NewPacket(h2.MAC, h2.IP, 1, 2, 10))
+	sim.RunUntil(sim.Now() + 20*netsim.Millisecond)
+	if h2.Received != before {
+		t.Fatal("packet escaped the blackhole")
+	}
+}
+
+// helpers shared with the TCAM tests in this package.
+func dstRule(ip uint32) (tcam.Key, tcam.Key) { return tcam.DstIPRule(ip) }
+func actionOut(p int) tcam.Action            { return tcam.Action{OutPort: p} }

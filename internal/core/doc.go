@@ -1,0 +1,20 @@
+// Package core implements the wire format of Tiny Packet Programs (TPPs)
+// as described in "Tiny Packet Programs for low-latency network control
+// and monitoring" (HotNets 2013), Figure 4.
+//
+// A TPP is an Ethernet frame with a dedicated EtherType whose payload
+// begins with a 12-byte TPP header, followed by a sequence of fixed-size
+// 4-byte instructions, a block of packet memory owned by the program, and
+// finally the encapsulated original payload (for example an IPv4/UDP
+// datagram).
+//
+// The package follows the layered decode/serialize conventions of
+// gopacket: every header type has an AppendTo method that serializes the
+// header onto a byte slice and a Parse function that decodes it without
+// copying, and Packet composes the layers.  Decoding is allocation-light
+// so it can run per packet inside the simulated switch dataplane.
+//
+// Values manipulated by TPP instructions are 32-bit big-endian words and
+// all section lengths are 4-byte aligned, matching the paper's "all
+// memory lengths are 4 byte aligned for efficient encoding".
+package core

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the protocol encapsulated in an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes understood by the simulated dataplane.
+const (
+	// EtherTypeTPP is the uniquely identifiable EtherType that marks a
+	// frame as carrying a tiny packet program.  The TCPU ignores every
+	// other EtherType ("Non-TPP packets are ignored by the TCPU").
+	EtherTypeTPP EtherType = 0x6666
+	// EtherTypeIPv4 is the standard IPv4 EtherType.
+	EtherTypeIPv4 EtherType = 0x0800
+)
+
+// EthernetHeaderLen is the length in bytes of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// MACFromUint64 builds a MAC from the low 48 bits of v.  It is handy for
+// assigning deterministic addresses to simulated hosts.
+func MACFromUint64(v uint64) MAC {
+	var m MAC
+	m[0] = byte(v >> 40)
+	m[1] = byte(v >> 32)
+	m[2] = byte(v >> 24)
+	m[3] = byte(v >> 16)
+	m[4] = byte(v >> 8)
+	m[5] = byte(v)
+	return m
+}
+
+// Uint64 returns the address as an integer (upper 16 bits zero).
+func (m MAC) Uint64() uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// String formats the address in the usual colon-separated hex notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// AppendTo serializes the header onto b and returns the extended slice.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(e.Type))
+}
+
+// ParseEthernet decodes an Ethernet header from the front of b.  It
+// returns the number of bytes consumed.
+func ParseEthernet(b []byte, e *Ethernet) (int, error) {
+	if len(b) < EthernetHeaderLen {
+		return 0, fmt.Errorf("core: ethernet header truncated: %d bytes", len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return EthernetHeaderLen, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: decoding arbitrary bytes must never panic and must either
+// fail cleanly or produce a packet that re-serializes without panicking.
+// Switches parse attacker-controlled frames, so this is a security
+// property, not just hygiene.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		pkt, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		_ = pkt.WireLen()
+		_ = pkt.Serialize()
+		_ = pkt.Clone()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Robustness: a valid frame with any single byte flipped must never
+// panic the decoder.
+func TestDecodeBitflippedFramesNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base := samplePacket().Serialize()
+	for trial := 0; trial < 5000; trial++ {
+		mutated := append([]byte(nil), base...)
+		i := r.Intn(len(mutated))
+		mutated[i] ^= byte(1 << r.Intn(8))
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic flipping byte %d: %v", i, rec)
+				}
+			}()
+			if pkt, err := Decode(mutated); err == nil {
+				_ = pkt.Serialize()
+			}
+		}()
+	}
+}
+
+// Robustness: ParseTPP on truncations and corruptions of a valid TPP
+// must never panic nor accept structurally invalid output.
+func TestParseTPPCorruptionNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	tpp := NewTPP(AddrStack, randomInstructions(r, 5), 10)
+	wire := tpp.AppendTo(nil)
+	for trial := 0; trial < 5000; trial++ {
+		mutated := append([]byte(nil), wire...)
+		switch r.Intn(3) {
+		case 0:
+			mutated = mutated[:r.Intn(len(mutated)+1)]
+		case 1:
+			mutated[r.Intn(len(mutated))] ^= byte(1 + r.Intn(255))
+		case 2:
+			extra := make([]byte, r.Intn(16))
+			r.Read(extra)
+			mutated = append(mutated, extra...)
+		}
+		var out TPP
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseTPP panicked: %v", rec)
+				}
+			}()
+			if _, err := ParseTPP(mutated, &out); err == nil {
+				if err := out.Validate(); err != nil {
+					t.Fatalf("ParseTPP accepted invalid TPP: %v", err)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Opcode identifies a TPP instruction (Table 1 of the paper).
+type Opcode uint8
+
+// The TPP instruction set.  LOAD/PUSH copy values from switch memory to
+// packet memory; STORE/POP copy values from packet memory to switch
+// memory; CSTORE is an atomic conditional store; CEXEC conditionally
+// executes the subsequent instructions.  NOP and ADD are the "simple
+// arithmetic" extensions §3.3 allows for.
+const (
+	OpNOP    Opcode = 0 // no operation
+	OpLOAD   Opcode = 1 // pkt[B] = sw[A]
+	OpSTORE  Opcode = 2 // sw[A] = pkt[B]
+	OpPUSH   Opcode = 3 // pkt[SP] = sw[A]; SP += 4  (stack mode)
+	OpPOP    Opcode = 4 // SP -= 4; sw[A] = pkt[SP]  (stack mode)
+	OpCSTORE Opcode = 5 // old = sw[A]; if old == pkt[B] { sw[A] = pkt[B+1] }; pkt[B+2] = old
+	OpCEXEC  Opcode = 6 // if sw[A] & pkt[B] != pkt[B+1] { halt }
+	OpADD    Opcode = 7 // pkt[B] += sw[A]  (arithmetic extension)
+	OpSUB    Opcode = 8 // pkt[B] -= sw[A]  (arithmetic extension)
+	OpMAX    Opcode = 9 // pkt[B] = max(pkt[B], sw[A])  (aggregation extension)
+
+	opMax = OpMAX
+)
+
+var opcodeNames = [...]string{
+	OpNOP:    "NOP",
+	OpLOAD:   "LOAD",
+	OpSTORE:  "STORE",
+	OpPUSH:   "PUSH",
+	OpPOP:    "POP",
+	OpCSTORE: "CSTORE",
+	OpCEXEC:  "CEXEC",
+	OpADD:    "ADD",
+	OpSUB:    "SUB",
+	OpMAX:    "MAX",
+}
+
+// Valid reports whether the opcode is part of the instruction set.
+func (o Opcode) Valid() bool { return o <= opMax }
+
+// String returns the assembly mnemonic of the opcode.
+func (o Opcode) String() string {
+	if o.Valid() {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// InstructionLen is the fixed encoded size of one instruction in bytes.
+// §3.3: "we were able to encode an instruction and its operands in a
+// 4-byte integer".
+const InstructionLen = 4
+
+// OperandBits is the width of each operand field; operands are
+// word-granular virtual addresses, so 12 bits address a 16 KiB byte
+// space.
+const OperandBits = 12
+
+// MaxOperand is the largest encodable operand value.
+const MaxOperand = 1<<OperandBits - 1
+
+// Instruction is one decoded TPP instruction.
+//
+// A is always a switch virtual address (a word index into the unified
+// memory map of §3.2.1).  B is a packet-memory operand: a word index
+// into the TPP's packet memory, interpreted according to the TPP's
+// addressing mode (absolute in stack mode, hop-relative in hop mode).
+// PUSH and POP take no B operand; their packet operand is the implicit
+// stack pointer.
+type Instruction struct {
+	Op Opcode
+	A  uint16
+	B  uint16
+}
+
+// Word encodes the instruction as the 4-byte integer layout
+// op(8) | A(12) | B(12).
+func (i Instruction) Word() uint32 {
+	return uint32(i.Op)<<24 | uint32(i.A&MaxOperand)<<12 | uint32(i.B&MaxOperand)
+}
+
+// DecodeInstruction decodes a 4-byte instruction word.
+func DecodeInstruction(w uint32) Instruction {
+	return Instruction{
+		Op: Opcode(w >> 24),
+		A:  uint16(w >> 12 & MaxOperand),
+		B:  uint16(w & MaxOperand),
+	}
+}
+
+// Validate checks that the instruction is encodable and uses a known
+// opcode.
+func (i Instruction) Validate() error {
+	if !i.Op.Valid() {
+		return fmt.Errorf("core: invalid opcode %d", uint8(i.Op))
+	}
+	if i.A > MaxOperand {
+		return fmt.Errorf("core: operand A %#x exceeds %d bits", i.A, OperandBits)
+	}
+	if i.B > MaxOperand {
+		return fmt.Errorf("core: operand B %#x exceeds %d bits", i.B, OperandBits)
+	}
+	return nil
+}
+
+// UsesB reports whether the opcode consumes the B operand.
+func (o Opcode) UsesB() bool {
+	switch o {
+	case OpLOAD, OpSTORE, OpCSTORE, OpCEXEC, OpADD, OpSUB, OpMAX:
+		return true
+	}
+	return false
+}
+
+// Writes reports whether the opcode can write switch memory.
+func (o Opcode) Writes() bool {
+	switch o {
+	case OpSTORE, OpPOP, OpCSTORE:
+		return true
+	}
+	return false
+}
+
+// String formats the instruction in raw (symbol-free) assembly syntax.
+func (i Instruction) String() string {
+	switch i.Op {
+	case OpNOP:
+		return "NOP"
+	case OpPUSH, OpPOP:
+		return fmt.Sprintf("%s [%#x]", i.Op, i.A)
+	default:
+		return fmt.Sprintf("%s [%#x], [Packet:%d]", i.Op, i.A, i.B)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of the (option-less) IPv4 header we model.
+const IPv4HeaderLen = 20
+
+// IP protocol numbers used by the simulated stack.
+const (
+	ProtoUDP uint8 = 17
+	ProtoTCP uint8 = 6
+)
+
+// IPv4 is a minimal IPv4 header: enough for routing (L3 LPM lookups),
+// flow classification (TCAM matches), congestion experiments, and the
+// fixed-function comparison features (ECN in TOS, Record Route in
+// Options).  The checksum is computed on serialization and verified on
+// parse.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16 // filled in by Packet.Serialize when zero
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src      uint32
+	Dst      uint32
+	// Options holds IP options (e.g. Record Route); its length must
+	// be a multiple of 4 and at most MaxIPv4Options bytes.
+	Options []byte
+}
+
+// MaxIPv4Options is the architectural IP option space limit (IHL is a
+// 4-bit word count: 60-byte header minus the 20 fixed bytes).
+const MaxIPv4Options = 40
+
+// HeaderLen returns the header length including options.
+func (h *IPv4) HeaderLen() int { return IPv4HeaderLen + len(h.Options) }
+
+// ECN codepoints in the low two TOS bits.
+const (
+	ECNCapable uint8 = 0x01 // ECT(1): sender supports ECN
+	ECNCE      uint8 = 0x03 // congestion experienced
+)
+
+// IPv4Addr packs four octets into the uint32 address representation.
+func IPv4Addr(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// IPv4String formats a uint32 address in dotted-quad notation.
+func IPv4String(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// AppendTo serializes the header (and any options) onto b.  Option
+// bytes longer than MaxIPv4Options or unaligned to 4 bytes panic:
+// callers construct options through the provided builders, which keep
+// them well-formed.
+func (h *IPv4) AppendTo(b []byte) []byte {
+	if len(h.Options)%4 != 0 || len(h.Options) > MaxIPv4Options {
+		panic(fmt.Sprintf("core: malformed IPv4 options length %d", len(h.Options)))
+	}
+	off := len(b)
+	ihl := byte(5 + len(h.Options)/4)
+	b = append(b, 0x40|ihl, h.TOS)
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = append(b, 0, 0) // flags+fragment offset: unfragmented
+	b = append(b, h.TTL, h.Proto, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, h.Src)
+	b = binary.BigEndian.AppendUint32(b, h.Dst)
+	b = append(b, h.Options...)
+	sum := ipChecksum(b[off : off+h.HeaderLen()])
+	binary.BigEndian.PutUint16(b[off+10:], sum)
+	return b
+}
+
+// ParseIPv4 decodes an IPv4 header from the front of b, verifying the
+// version, header length and checksum.
+func ParseIPv4(b []byte, h *IPv4) (int, error) {
+	if len(b) < IPv4HeaderLen {
+		return 0, fmt.Errorf("core: IPv4 header truncated: %d bytes", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return 0, fmt.Errorf("core: not IPv4: version byte %#x", b[0])
+	}
+	hlen := int(b[0]&0x0F) * 4
+	if hlen < IPv4HeaderLen || hlen > IPv4HeaderLen+MaxIPv4Options {
+		return 0, fmt.Errorf("core: bad IPv4 IHL %d", hlen)
+	}
+	if len(b) < hlen {
+		return 0, fmt.Errorf("core: IPv4 options truncated: %d < %d", len(b), hlen)
+	}
+	if ipChecksum(b[:hlen]) != 0 {
+		return 0, fmt.Errorf("core: IPv4 header checksum mismatch")
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Src = binary.BigEndian.Uint32(b[12:16])
+	h.Dst = binary.BigEndian.Uint32(b[16:20])
+	h.Options = append(h.Options[:0], b[IPv4HeaderLen:hlen]...)
+	return hlen, nil
+}
+
+// ipChecksum is the standard ones-complement Internet checksum.  When
+// computed over a header whose checksum field holds the correct value,
+// the result is zero.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,99 @@
+package core
+
+import "testing"
+
+func TestRecordRouteOptionLifecycle(t *testing.T) {
+	opts := NewRecordRouteOption(3)
+	if len(opts)%4 != 0 || len(opts) > MaxIPv4Options {
+		t.Fatalf("option block length %d", len(opts))
+	}
+	for i := uint32(1); i <= 3; i++ {
+		if !RecordRouteAppend(opts, i) {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+	// Fourth append: slots full, silently refused — the classic
+	// Record Route failure mode.
+	if RecordRouteAppend(opts, 4) {
+		t.Fatal("append beyond capacity succeeded")
+	}
+	addrs := RecordRouteAddrs(opts)
+	if len(addrs) != 3 || addrs[0] != 1 || addrs[2] != 3 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestRecordRouteClamping(t *testing.T) {
+	if got := len(NewRecordRouteOption(100)); got > MaxIPv4Options {
+		t.Fatalf("oversized option: %d bytes", got)
+	}
+	small := NewRecordRouteOption(0)
+	if !RecordRouteAppend(small, 7) {
+		t.Fatal("single-slot option unusable")
+	}
+	if MaxRecordRouteSlots != 9 {
+		t.Fatalf("MaxRecordRouteSlots = %d, want 9 (40-byte option space)", MaxRecordRouteSlots)
+	}
+}
+
+func TestRecordRouteOnForeignBytes(t *testing.T) {
+	if RecordRouteAppend(nil, 1) || RecordRouteAppend([]byte{1, 2, 3, 4}, 1) {
+		t.Fatal("append accepted non-RR options")
+	}
+	if RecordRouteAddrs([]byte{9, 9, 9}) != nil {
+		t.Fatal("addrs parsed from non-RR options")
+	}
+}
+
+func TestIPv4OptionsRoundTrip(t *testing.T) {
+	h := IPv4{TTL: 64, Proto: ProtoUDP, Src: 1, Dst: 2,
+		Options: NewRecordRouteOption(2)}
+	RecordRouteAppend(h.Options, 0xAABBCCDD)
+	wire := h.AppendTo(nil)
+	if len(wire) != h.HeaderLen() {
+		t.Fatalf("serialized %d bytes, header len %d", len(wire), h.HeaderLen())
+	}
+	var out IPv4
+	n, err := ParseIPv4(wire, &out)
+	if err != nil || n != h.HeaderLen() {
+		t.Fatalf("parse: n=%d err=%v", n, err)
+	}
+	addrs := RecordRouteAddrs(out.Options)
+	if len(addrs) != 1 || addrs[0] != 0xAABBCCDD {
+		t.Fatalf("addrs after round trip: %v", addrs)
+	}
+}
+
+func TestIPv4PacketWithOptionsRoundTrip(t *testing.T) {
+	p := &Packet{
+		Eth: Ethernet{Type: EtherTypeIPv4},
+		IP: &IPv4{TTL: 64, Proto: ProtoUDP, Src: 1, Dst: 2,
+			Options: NewRecordRouteOption(4)},
+		UDP:     &UDP{SrcPort: 1, DstPort: 2},
+		Payload: []byte("hi"),
+	}
+	wire := p.Serialize()
+	if len(wire) != p.WireLen() {
+		t.Fatalf("wire %d != WireLen %d", len(wire), p.WireLen())
+	}
+	out, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.IP.Options) != len(p.IP.Options) {
+		t.Fatal("options lost in decode")
+	}
+	if string(out.Payload) != "hi" {
+		t.Fatalf("payload: %q", out.Payload)
+	}
+}
+
+func TestMalformedOptionsPanicOnSerialize(t *testing.T) {
+	h := IPv4{Options: []byte{1, 2, 3}} // unaligned
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.AppendTo(nil)
+}

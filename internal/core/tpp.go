@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AddrMode selects how instructions address packet memory (§3.2.2).
+type AddrMode uint8
+
+const (
+	// AddrStack manages packet memory with a stack pointer: PUSH
+	// appends words and advances SP, so the memory records one
+	// snapshot per hop back to back (Figure 1).
+	AddrStack AddrMode = 1
+	// AddrHop uses base:offset addressing: the effective word address
+	// of operand B is Ptr*HopLen/4 + B, where Ptr is the hop number
+	// maintained in the TPP header and HopLen is the per-hop data
+	// structure size in bytes.
+	AddrHop AddrMode = 2
+)
+
+// String names the addressing mode.
+func (m AddrMode) String() string {
+	switch m {
+	case AddrStack:
+		return "stack"
+	case AddrHop:
+		return "hop"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// TPP header flags.
+const (
+	// FlagError is set by a TCPU when execution faulted (packet memory
+	// exhausted, bad address, or a store to protected state).  The
+	// packet still forwards; end-hosts inspect the flag.
+	FlagError uint8 = 1 << 0
+	// FlagStripped marks a TPP whose instructions were removed at an
+	// untrusted edge port (§4); kept for observability in traces.
+	FlagStripped uint8 = 1 << 1
+)
+
+// TPPVersion is the wire format version implemented by this package.
+const TPPVersion = 1
+
+// TPPHeaderLen is the fixed TPP header size in bytes.  The paper's
+// Figure 4 allots "up to 20 bytes" for the five header fields; this
+// encoding packs them in 12, keeping 4-byte alignment.
+const TPPHeaderLen = 12
+
+// MaxTPPInstructions bounds the program length.  §1 suggests
+// "restricting TPPs to (say) five instructions per-packet"; we keep the
+// wire format general (one byte of instruction count) and let the ASIC
+// enforce its own per-device limit.
+const MaxTPPInstructions = 255
+
+// TPP is a decoded tiny packet program: a short instruction sequence
+// plus the packet memory it owns.
+type TPP struct {
+	Version uint8
+	Flags   uint8
+	Mode    AddrMode
+	// Ptr is the paper's header field 4, "Hop number / stack pointer":
+	// the stack pointer in bytes in stack mode, the hop counter in hop
+	// mode.  Each TCPU advances it as it executes the program.
+	Ptr uint16
+	// HopLen is the per-hop data structure length in bytes, used only
+	// in hop addressing mode (header field 5).
+	HopLen uint16
+	// Ins is the instruction section, executed sequentially at every
+	// TCPU-enabled switch the packet traverses.
+	Ins []Instruction
+	// Mem is the packet memory scratch space, preallocated by the
+	// end-host; its length never changes inside the network.  Length
+	// is always a multiple of 4.
+	Mem []byte
+}
+
+// NewTPP builds a TPP with memWords words of zeroed packet memory.
+func NewTPP(mode AddrMode, ins []Instruction, memWords int) *TPP {
+	return &TPP{
+		Version: TPPVersion,
+		Mode:    mode,
+		Ins:     ins,
+		Mem:     make([]byte, memWords*4),
+	}
+}
+
+// MemWords returns the packet memory size in 32-bit words.
+func (t *TPP) MemWords() int { return len(t.Mem) / 4 }
+
+// WireLen returns the serialized size of the TPP section in bytes.
+func (t *TPP) WireLen() int {
+	return TPPHeaderLen + InstructionLen*len(t.Ins) + len(t.Mem)
+}
+
+// Word returns packet memory word i (big endian).  It panics if i is out
+// of range; callers bound-check through InRange.
+func (t *TPP) Word(i int) uint32 {
+	return binary.BigEndian.Uint32(t.Mem[i*4:])
+}
+
+// SetWord writes packet memory word i.
+func (t *TPP) SetWord(i int, v uint32) {
+	binary.BigEndian.PutUint32(t.Mem[i*4:], v)
+}
+
+// InRange reports whether word index i is inside packet memory.
+func (t *TPP) InRange(i int) bool { return i >= 0 && (i+1)*4 <= len(t.Mem) }
+
+// EffectiveWord translates an instruction's B operand into a word index
+// according to the addressing mode ("base:offset refers to the word at
+// location base * size + offset").
+func (t *TPP) EffectiveWord(b uint16) int {
+	if t.Mode == AddrHop {
+		return int(t.Ptr)*int(t.HopLen/4) + int(b)
+	}
+	return int(b)
+}
+
+// Hop returns the hop counter (hop mode) or the number of complete
+// stack frames of size frameWords pushed so far (stack mode).
+func (t *TPP) Hop(frameWords int) int {
+	if t.Mode == AddrHop {
+		return int(t.Ptr)
+	}
+	if frameWords <= 0 {
+		return 0
+	}
+	return int(t.Ptr) / 4 / frameWords
+}
+
+// Clone deep-copies the TPP so switches can execute on a private copy
+// when a packet is replicated (flooding).
+func (t *TPP) Clone() *TPP {
+	c := *t
+	c.Ins = append([]Instruction(nil), t.Ins...)
+	c.Mem = append([]byte(nil), t.Mem...)
+	return &c
+}
+
+// Validate checks structural invariants of the TPP.
+func (t *TPP) Validate() error {
+	if t.Version != TPPVersion {
+		return fmt.Errorf("core: unsupported TPP version %d", t.Version)
+	}
+	if t.Mode != AddrStack && t.Mode != AddrHop {
+		return fmt.Errorf("core: invalid addressing mode %d", t.Mode)
+	}
+	if len(t.Ins) > MaxTPPInstructions {
+		return fmt.Errorf("core: %d instructions exceed maximum %d", len(t.Ins), MaxTPPInstructions)
+	}
+	if len(t.Mem)%4 != 0 {
+		return fmt.Errorf("core: packet memory length %d not 4-byte aligned", len(t.Mem))
+	}
+	if t.Mode == AddrHop && t.HopLen%4 != 0 {
+		return fmt.Errorf("core: per-hop length %d not 4-byte aligned", t.HopLen)
+	}
+	if t.Mode == AddrStack && t.Ptr%4 != 0 {
+		return fmt.Errorf("core: stack pointer %d not 4-byte aligned", t.Ptr)
+	}
+	for k, in := range t.Ins {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("core: instruction %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// AppendTo serializes the TPP section (header, instructions, packet
+// memory) onto b.
+func (t *TPP) AppendTo(b []byte) []byte {
+	b = append(b, t.Version, t.Flags, byte(t.Mode), byte(len(t.Ins)))
+	b = binary.BigEndian.AppendUint16(b, uint16(t.MemWords()))
+	b = binary.BigEndian.AppendUint16(b, t.Ptr)
+	b = binary.BigEndian.AppendUint16(b, t.HopLen)
+	b = append(b, 0, 0) // reserved, keeps the header 4-byte aligned
+	for _, in := range t.Ins {
+		b = binary.BigEndian.AppendUint32(b, in.Word())
+	}
+	return append(b, t.Mem...)
+}
+
+// ParseTPP decodes a TPP section from the front of b, returning the
+// number of bytes consumed.  The packet memory is copied so that the
+// decoded TPP owns its scratch space.
+func ParseTPP(b []byte, t *TPP) (int, error) {
+	if len(b) < TPPHeaderLen {
+		return 0, fmt.Errorf("core: TPP header truncated: %d bytes", len(b))
+	}
+	t.Version = b[0]
+	t.Flags = b[1]
+	t.Mode = AddrMode(b[2])
+	nIns := int(b[3])
+	memWords := int(binary.BigEndian.Uint16(b[4:6]))
+	t.Ptr = binary.BigEndian.Uint16(b[6:8])
+	t.HopLen = binary.BigEndian.Uint16(b[8:10])
+	n := TPPHeaderLen
+	need := n + nIns*InstructionLen + memWords*4
+	if len(b) < need {
+		return 0, fmt.Errorf("core: TPP body truncated: need %d bytes, have %d", need, len(b))
+	}
+	t.Ins = t.Ins[:0]
+	for i := 0; i < nIns; i++ {
+		t.Ins = append(t.Ins, DecodeInstruction(binary.BigEndian.Uint32(b[n:])))
+		n += InstructionLen
+	}
+	t.Mem = append(t.Mem[:0], b[n:n+memWords*4]...)
+	n += memWords * 4
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the UDP header size in bytes.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.  The checksum is left zero (legal for UDP over
+// IPv4); the simulated links do not corrupt payloads.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16 // header + payload; filled in by Packet.Serialize when zero
+}
+
+// AppendTo serializes the header onto b.
+func (u *UDP) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, u.Length)
+	return append(b, 0, 0)
+}
+
+// ParseUDP decodes a UDP header from the front of b.
+func ParseUDP(b []byte, u *UDP) (int, error) {
+	if len(b) < UDPHeaderLen {
+		return 0, fmt.Errorf("core: UDP header truncated: %d bytes", len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	return UDPHeaderLen, nil
+}

@@ -1,0 +1,126 @@
+package endhost
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// ProbeEchoPort is the UDP port TPP probes target; hosts answer probes
+// arriving here with an echo of the executed program ("the receiver
+// simply echos a fully executed TPP back to the sender", §2.2).
+const ProbeEchoPort = 7070
+
+// EchoReplyPort is the UDP port probe echoes come back on.
+const EchoReplyPort = 7071
+
+// Handler consumes a received packet.
+type Handler func(pkt *core.Packet)
+
+// Host is a simulated end-host.
+type Host struct {
+	Sim *netsim.Sim
+	MAC core.MAC
+	IP  uint32
+	NIC *NIC
+
+	handlers map[uint16]Handler
+	fallback Handler
+
+	nextUID uint64
+
+	// Received counts delivered packets (after echo handling).
+	Received uint64
+	// EchoesSent counts probe echoes generated.
+	EchoesSent uint64
+}
+
+// NewHost builds a host; wire its NIC with Host.NIC.Attach.
+func NewHost(sim *netsim.Sim, mac core.MAC, ip uint32) *Host {
+	return &Host{
+		Sim:      sim,
+		MAC:      mac,
+		IP:       ip,
+		NIC:      NewNIC(0),
+		handlers: make(map[uint16]Handler),
+	}
+}
+
+// Handle registers a handler for a UDP destination port.
+func (h *Host) Handle(port uint16, fn Handler) { h.handlers[port] = fn }
+
+// HandleDefault registers the handler for everything else.
+func (h *Host) HandleDefault(fn Handler) { h.fallback = fn }
+
+// Receive implements netsim.Receiver.
+func (h *Host) Receive(pkt *core.Packet, port int) {
+	_ = port
+	// Echo executed TPP probes transparently, before demultiplexing:
+	// this is the paper's receiver behavior for the collect phase.
+	if pkt.TPP != nil && pkt.UDP != nil && pkt.UDP.DstPort == ProbeEchoPort {
+		h.echoProbe(pkt)
+		return
+	}
+	h.Received++
+	if pkt.UDP != nil {
+		if fn, ok := h.handlers[pkt.UDP.DstPort]; ok {
+			fn(pkt)
+			return
+		}
+	}
+	if h.fallback != nil {
+		h.fallback(pkt)
+	}
+}
+
+// echoProbe returns the executed TPP to the prober.  The echo carries
+// the TPP serialized inside an ordinary UDP payload so the network does
+// not execute it a second time on the reverse path.
+func (h *Host) echoProbe(pkt *core.Packet) {
+	if pkt.IP == nil {
+		return
+	}
+	payload := pkt.TPP.AppendTo(nil)
+	payload = append(payload, pkt.Payload...) // preserve the probe cookie
+	echo := &core.Packet{
+		Eth: core.Ethernet{Dst: pkt.Eth.Src, Src: h.MAC, Type: core.EtherTypeIPv4},
+		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
+			Src: h.IP, Dst: pkt.IP.Src},
+		UDP:     &core.UDP{SrcPort: ProbeEchoPort, DstPort: EchoReplyPort},
+		Payload: payload,
+		Meta:    core.Metadata{UID: h.uid()},
+	}
+	h.EchoesSent++
+	h.NIC.Send(echo)
+}
+
+func (h *Host) uid() uint64 {
+	h.nextUID++
+	return h.nextUID
+}
+
+// NewPacket builds a unicast data packet from this host.
+func (h *Host) NewPacket(dstMAC core.MAC, dstIP uint32, srcPort, dstPort uint16, payloadLen int) *core.Packet {
+	return &core.Packet{
+		Eth: core.Ethernet{Dst: dstMAC, Src: h.MAC, Type: core.EtherTypeIPv4},
+		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
+			Src: h.IP, Dst: dstIP},
+		UDP:    &core.UDP{SrcPort: srcPort, DstPort: dstPort},
+		PadLen: payloadLen,
+		Meta:   core.Metadata{UID: h.uid()},
+	}
+}
+
+// Send queues a packet on the NIC.
+func (h *Host) Send(pkt *core.Packet) bool { return h.NIC.Send(pkt) }
+
+// Broadcast sends a zero-payload broadcast frame, the cheap way to
+// prime L2 learning tables with this host's location.
+func (h *Host) Broadcast() bool {
+	return h.Send(&core.Packet{
+		Eth: core.Ethernet{Dst: core.BroadcastMAC, Src: h.MAC, Type: core.EtherTypeIPv4},
+		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
+			Src: h.IP, Dst: core.IPv4Addr(255, 255, 255, 255)},
+		UDP:  &core.UDP{SrcPort: 1, DstPort: 1},
+		Meta: core.Metadata{UID: h.uid()},
+	})
+}

@@ -1,0 +1,77 @@
+// Package endhost implements the host side of the TPP architecture:
+// "smartness at the edge".  Hosts carry a NIC with a drop-tail transmit
+// queue, demultiplex received packets to protocol handlers, echo
+// executed TPPs back to their senders, and run Prober/Collector agents
+// that the example network tasks (RCP*, micro-burst detection, ndb)
+// are built from.
+package endhost
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// DefaultNICQueue is the transmit queue capacity in packets.
+const DefaultNICQueue = 256
+
+// NIC is a host network interface: a FIFO transmit queue in front of
+// one egress channel.
+type NIC struct {
+	ch    *netsim.Channel
+	queue []*core.Packet
+	max   int
+
+	// Drops counts transmit-queue tail drops.
+	Drops uint64
+	// Sent counts packets handed to the channel.
+	Sent uint64
+}
+
+// NewNIC builds a NIC with a transmit queue of max packets (0 selects
+// DefaultNICQueue).
+func NewNIC(max int) *NIC {
+	if max <= 0 {
+		max = DefaultNICQueue
+	}
+	return &NIC{max: max}
+}
+
+// Attach wires the NIC to its egress channel.
+func (n *NIC) Attach(ch *netsim.Channel) {
+	n.ch = ch
+	ch.SetOnIdle(n.kick)
+}
+
+// SetCapacity resizes the transmit queue limit; experiments that
+// pre-queue large batches raise it.
+func (n *NIC) SetCapacity(max int) {
+	if max > 0 {
+		n.max = max
+	}
+}
+
+// QueueLen returns the number of packets waiting to transmit.
+func (n *NIC) QueueLen() int { return len(n.queue) }
+
+// Send queues the packet for transmission, returning false on a tail
+// drop.
+func (n *NIC) Send(pkt *core.Packet) bool {
+	if len(n.queue) >= n.max {
+		n.Drops++
+		return false
+	}
+	n.queue = append(n.queue, pkt)
+	n.kick()
+	return true
+}
+
+func (n *NIC) kick() {
+	if n.ch == nil || n.ch.Busy() || len(n.queue) == 0 {
+		return
+	}
+	pkt := n.queue[0]
+	n.queue[0] = nil
+	n.queue = n.queue[1:]
+	n.Sent++
+	n.ch.Send(pkt)
+}

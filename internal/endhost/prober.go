@@ -1,0 +1,138 @@
+package endhost
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Prober sends TPP probe packets and collects their echoes.  One
+// Prober per host handles any number of destinations and outstanding
+// probes; echoes are matched by a cookie carried in the probe payload.
+type Prober struct {
+	host    *Host
+	next    uint32
+	pending map[uint32]func(*core.TPP)
+
+	// Sent and Matched count probes and successfully matched echoes.
+	Sent    uint64
+	Matched uint64
+	// Malformed counts echo packets that failed to parse.
+	Malformed uint64
+}
+
+// NewProber builds a prober and claims the host's echo-reply port.
+func NewProber(h *Host) *Prober {
+	p := &Prober{host: h, pending: make(map[uint32]func(*core.TPP))}
+	h.Handle(EchoReplyPort, p.onEcho)
+	return p
+}
+
+// Outstanding returns the number of probes awaiting echoes.
+func (p *Prober) Outstanding() int { return len(p.pending) }
+
+// Probe sends tpp toward the destination host; fn runs when the echo
+// returns, with the executed program (its packet memory filled in by
+// the switches on the forward path).  Probes are subject to congestion
+// and can be lost; lost probes simply never call fn, and Forget can
+// reap them.
+func (p *Prober) Probe(dstMAC core.MAC, dstIP uint32, tpp *core.TPP, fn func(*core.TPP)) bool {
+	p.next++
+	cookie := p.next
+	payload := binary.BigEndian.AppendUint32(nil, cookie)
+	pkt := &core.Packet{
+		Eth: core.Ethernet{Dst: dstMAC, Src: p.host.MAC, Type: core.EtherTypeTPP},
+		TPP: tpp,
+		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
+			Src: p.host.IP, Dst: dstIP},
+		UDP:     &core.UDP{SrcPort: EchoReplyPort, DstPort: ProbeEchoPort},
+		Payload: payload,
+	}
+	if !p.host.Send(pkt) {
+		return false
+	}
+	p.Sent++
+	p.pending[cookie] = fn
+	return true
+}
+
+// ProbeGroup sends several TPPs as one logical multi-packet program
+// ("end-hosts can use multiple packets if a single packet is
+// insufficient for a network task", §2) and calls fn once every echo
+// has returned, in sending order.
+func (p *Prober) ProbeGroup(dstMAC core.MAC, dstIP uint32, tpps []*core.TPP, fn func([]*core.TPP)) bool {
+	results := make([]*core.TPP, len(tpps))
+	remaining := len(tpps)
+	ok := true
+	for i, tpp := range tpps {
+		i := i
+		sent := p.Probe(dstMAC, dstIP, tpp, func(echoed *core.TPP) {
+			results[i] = echoed
+			remaining--
+			if remaining == 0 {
+				fn(results)
+			}
+		})
+		ok = ok && sent
+	}
+	return ok
+}
+
+// Forget drops the pending callback for every outstanding probe; used
+// by periodic controllers that supersede unanswered probes.
+func (p *Prober) Forget() { clear(p.pending) }
+
+// onEcho parses an echo packet: serialized executed TPP followed by the
+// 4-byte cookie.
+func (p *Prober) onEcho(pkt *core.Packet) {
+	var tpp core.TPP
+	n, err := core.ParseTPP(pkt.Payload, &tpp)
+	if err != nil || len(pkt.Payload) < n+4 {
+		p.Malformed++
+		return
+	}
+	cookie := binary.BigEndian.Uint32(pkt.Payload[n:])
+	fn, ok := p.pending[cookie]
+	if !ok {
+		return // superseded or duplicate
+	}
+	delete(p.pending, cookie)
+	p.Matched++
+	fn(&tpp)
+}
+
+// CollectProgram builds the canonical collect-phase probe: one PUSH per
+// statistic per hop, with packet memory sized for maxHops hops.  It
+// fails if the statistic list exceeds the device instruction limit —
+// use SplitCollect to spread the list across multiple TPPs.
+func CollectProgram(stats []mem.Addr, maxHops, insLimit int) (*core.TPP, error) {
+	if len(stats) > insLimit {
+		return nil, fmt.Errorf("endhost: %d statistics exceed the %d-instruction limit", len(stats), insLimit)
+	}
+	ins := make([]core.Instruction, len(stats))
+	for i, a := range stats {
+		ins[i] = core.Instruction{Op: core.OpPUSH, A: uint16(a)}
+	}
+	return core.NewTPP(core.AddrStack, ins, len(stats)*maxHops), nil
+}
+
+// SplitCollect splits a statistic list into as many collect TPPs as the
+// instruction limit requires: the multi-packet TPP mechanism.
+func SplitCollect(stats []mem.Addr, maxHops, insLimit int) ([]*core.TPP, error) {
+	if insLimit <= 0 {
+		return nil, fmt.Errorf("endhost: instruction limit must be positive")
+	}
+	var out []*core.TPP
+	for len(stats) > 0 {
+		n := min(insLimit, len(stats))
+		tpp, err := CollectProgram(stats[:n], maxHops, insLimit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tpp)
+		stats = stats[n:]
+	}
+	return out, nil
+}

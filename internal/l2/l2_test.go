@@ -1,0 +1,106 @@
+package l2
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mac(n uint64) core.MAC { return core.MACFromUint64(n) }
+
+func TestLearnAndLookup(t *testing.T) {
+	tbl := New(0)
+	tbl.Learn(mac(1), 3, 100)
+	port, ok := tbl.Lookup(mac(1), 200)
+	if !ok || port != 3 {
+		t.Fatalf("Lookup = %d, %v", port, ok)
+	}
+	if _, ok := tbl.Lookup(mac(2), 200); ok {
+		t.Fatal("unknown MAC found")
+	}
+	if tbl.Size() != 1 {
+		t.Fatalf("Size = %d", tbl.Size())
+	}
+}
+
+func TestStationMove(t *testing.T) {
+	tbl := New(0)
+	tbl.Learn(mac(1), 3, 100)
+	tbl.Learn(mac(1), 5, 200)
+	if port, _ := tbl.Lookup(mac(1), 300); port != 5 {
+		t.Fatalf("moved station on port %d", port)
+	}
+	if tbl.Size() != 1 {
+		t.Fatal("relearning must not grow the table")
+	}
+}
+
+func TestAging(t *testing.T) {
+	tbl := New(1000)
+	tbl.Learn(mac(1), 3, 0)
+	if _, ok := tbl.Lookup(mac(1), 1000); !ok {
+		t.Fatal("entry aged out too early")
+	}
+	if _, ok := tbl.Lookup(mac(1), 1001); ok {
+		t.Fatal("stale entry returned")
+	}
+	if tbl.Size() != 0 {
+		t.Fatal("stale entry not removed on access")
+	}
+}
+
+func TestRelearnRefreshesAge(t *testing.T) {
+	tbl := New(1000)
+	tbl.Learn(mac(1), 3, 0)
+	tbl.Learn(mac(1), 3, 900)
+	if _, ok := tbl.Lookup(mac(1), 1500); !ok {
+		t.Fatal("refreshed entry aged out")
+	}
+}
+
+func TestBroadcastNeverLearned(t *testing.T) {
+	tbl := New(0)
+	tbl.Learn(core.BroadcastMAC, 1, 0)
+	if tbl.Size() != 0 {
+		t.Fatal("broadcast address learned")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	tbl := New(1000)
+	tbl.Learn(mac(1), 1, 0)
+	tbl.Learn(mac(2), 2, 1500)
+	tbl.Learn(mac(3), 3, 2000)
+	tbl.Expire(2000)
+	if tbl.Size() != 2 {
+		t.Fatalf("Size after Expire = %d", tbl.Size())
+	}
+	if _, ok := tbl.Lookup(mac(1), 2000); ok {
+		t.Fatal("expired entry survives")
+	}
+	if _, ok := tbl.Lookup(mac(2), 2000); !ok {
+		t.Fatal("fresh entry expired")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tbl := New(0)
+	for i := uint64(1); i <= 10; i++ {
+		tbl.Learn(mac(i), int(i), 0)
+	}
+	tbl.Flush()
+	if tbl.Size() != 0 {
+		t.Fatal("Flush left entries")
+	}
+}
+
+func TestDefaultAge(t *testing.T) {
+	tbl := New(-1)
+	tbl.Learn(mac(1), 1, 0)
+	if _, ok := tbl.Lookup(mac(1), DefaultAge); !ok {
+		t.Fatal("default age too short")
+	}
+	if _, ok := tbl.Lookup(mac(1), DefaultAge+1); ok {
+		t.Fatal("default age not applied")
+	}
+}

@@ -1,0 +1,96 @@
+// Package l3 implements the IPv4 longest-prefix-match table of the
+// switch pipeline (§3.1) as a binary trie.  It is deliberately simple —
+// the experiments route a handful of prefixes — but correct for the
+// full 0..32 prefix-length range, and property-tested against a naive
+// reference in l3_test.go.
+package l3
+
+import "fmt"
+
+// Route is the action attached to a prefix.
+type Route struct {
+	// OutPort is the egress port packets matching the prefix take.
+	OutPort int
+}
+
+type node struct {
+	children [2]*node
+	route    *Route
+}
+
+// Table is an IPv4 longest-prefix-match forwarding table.
+type Table struct {
+	root node
+	size int
+}
+
+// New builds an empty LPM table.
+func New() *Table { return &Table{} }
+
+// Size returns the number of installed prefixes.
+func (t *Table) Size() int { return t.size }
+
+// Insert installs (or replaces) the route for prefix/plen.  The bits of
+// prefix below the prefix length are ignored.
+func (t *Table) Insert(prefix uint32, plen int, r Route) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("l3: prefix length %d out of range", plen)
+	}
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		b := prefix >> (31 - i) & 1
+		if n.children[b] == nil {
+			n.children[b] = &node{}
+		}
+		n = n.children[b]
+	}
+	if n.route == nil {
+		t.size++
+	}
+	rt := r
+	n.route = &rt
+	return nil
+}
+
+// Remove deletes the route for exactly prefix/plen.  It reports whether
+// a route was present.  Interior trie nodes are left in place; the
+// table is small and rebuilt rarely.
+func (t *Table) Remove(prefix uint32, plen int) bool {
+	if plen < 0 || plen > 32 {
+		return false
+	}
+	n := &t.root
+	for i := 0; i < plen; i++ {
+		b := prefix >> (31 - i) & 1
+		if n.children[b] == nil {
+			return false
+		}
+		n = n.children[b]
+	}
+	if n.route == nil {
+		return false
+	}
+	n.route = nil
+	t.size--
+	return true
+}
+
+// Lookup returns the route of the longest prefix covering ip.
+func (t *Table) Lookup(ip uint32) (Route, bool) {
+	n := &t.root
+	var best *Route
+	if n.route != nil {
+		best = n.route
+	}
+	for i := 0; i < 32 && n != nil; i++ {
+		b := ip >> (31 - i) & 1
+		n = n.children[b]
+		if n != nil && n.route != nil {
+			best = n.route
+		}
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	return *best, true
+}

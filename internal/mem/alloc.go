@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a contiguous SRAM allocation handed to a network task.
+type Region struct {
+	Base  Addr // first word address (within the SRAM namespace)
+	Words int
+}
+
+// End returns one past the last address of the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Words) }
+
+// Contains reports whether address a falls inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Allocator is the control-plane agent of §3.2 that partitions switch
+// SRAM and isolates concurrently executing network tasks: "if end-hosts
+// implement both RCP and ndb, the agent would allocate a non-overlapping
+// set of SRAM addresses to RCP and ndb".
+//
+// Allocator is not safe for concurrent use; the control plane serializes
+// allocation requests.
+type Allocator struct {
+	regions map[string]Region
+}
+
+// NewAllocator builds an allocator over the switch's SRAM bank.
+func NewAllocator() *Allocator {
+	return &Allocator{regions: make(map[string]Region)}
+}
+
+// Alloc reserves words of SRAM for the named task using first-fit over
+// the gaps between existing allocations.  Allocating again under the
+// same name fails; tasks hold exactly one region.
+func (al *Allocator) Alloc(task string, words int) (Region, error) {
+	if words <= 0 {
+		return Region{}, fmt.Errorf("mem: task %q requested %d words", task, words)
+	}
+	if _, ok := al.regions[task]; ok {
+		return Region{}, fmt.Errorf("mem: task %q already holds a region", task)
+	}
+	taken := make([]Region, 0, len(al.regions))
+	for _, r := range al.regions {
+		taken = append(taken, r)
+	}
+	sort.Slice(taken, func(i, j int) bool { return taken[i].Base < taken[j].Base })
+	cursor := SRAMBase
+	for _, r := range taken {
+		if int(r.Base-cursor) >= words {
+			break
+		}
+		cursor = r.End()
+	}
+	if int(SRAMBase)+SRAMWords-int(cursor) < words {
+		return Region{}, fmt.Errorf("mem: SRAM exhausted: task %q wants %d words", task, words)
+	}
+	reg := Region{Base: cursor, Words: words}
+	al.regions[task] = reg
+	return reg, nil
+}
+
+// Free releases the named task's region.
+func (al *Allocator) Free(task string) error {
+	if _, ok := al.regions[task]; !ok {
+		return fmt.Errorf("mem: task %q holds no region", task)
+	}
+	delete(al.regions, task)
+	return nil
+}
+
+// Lookup returns the region held by task.
+func (al *Allocator) Lookup(task string) (Region, bool) {
+	r, ok := al.regions[task]
+	return r, ok
+}
+
+// Tasks returns the names of all tasks holding regions, sorted.
+func (al *Allocator) Tasks() []string {
+	names := make([]string, 0, len(al.regions))
+	for n := range al.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Owner returns the task whose region contains address a, if any.
+func (al *Allocator) Owner(a Addr) (string, bool) {
+	for n, r := range al.regions {
+		if r.Contains(a) {
+			return n, true
+		}
+	}
+	return "", false
+}

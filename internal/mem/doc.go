@@ -1,0 +1,31 @@
+// Package mem defines the unified memory-mapped IO address space of
+// §3.2.1 of the TPP paper: "The statistics can be broadly namespaced
+// into per-switch (i.e. global), per-port, per-queue and per-packet...
+// These statistics reside in different memory banks, but providing a
+// unified address space makes them available to TPPs."
+//
+// Addresses are 12-bit word indexes (matching the instruction operand
+// width in internal/core), covering a 16 KiB byte space per switch:
+//
+//	0x000–0x0FF  Switch namespace (global statistics)
+//	0x100–0x1FF  Port/Link namespace, context-relative: resolves
+//	             against the packet's egress port chosen earlier in
+//	             the pipeline
+//	0x200–0x2FF  Queue namespace, context-relative egress queue
+//	0x300–0x3FF  PacketMetadata namespace (per-packet registers)
+//	0x400–0xBFF  Scratch SRAM (2048 words), partitioned among network
+//	             tasks by the control-plane agent (Allocator)
+//	0xC00–0xFFF  Absolute per-port window: port p's statistics block
+//	             at PortAbsBase + p*PortAbsStride
+//
+// "These address mappings must be known upfront so that the TPP
+// compiler can convert mnemonics (such as PacketMetadata:InputPort)
+// into addresses": the Symbols table provides that mapping and is
+// shared by the assembler and the disassembler.
+//
+// The package also defines the access-control model of §4: the memory
+// map "isolates critical forwarding state from state modifiable by
+// TPPs".  Statistics namespaces are read-only to TPPs except for
+// designated task scratch words; SRAM is read-write within a task's
+// allocated region.
+package mem

@@ -1,0 +1,199 @@
+package mem
+
+import "fmt"
+
+// Addr is a word-granular virtual address into a switch's unified
+// memory map.  It matches the 12-bit operand width of TPP instructions,
+// so valid addresses are < AddrSpaceWords.
+type Addr uint16
+
+// AddrSpaceWords is the number of addressable 32-bit words (12-bit
+// operands).
+const AddrSpaceWords = 1 << 12
+
+// ByteAddr returns the byte address of a, as printed in the paper's
+// examples ("[Queue:QueueSize] will be compiled to a virtual memory
+// address (say) 0xb000").
+func (a Addr) ByteAddr() uint32 { return uint32(a) * 4 }
+
+// Namespace identifies the memory bank an address falls into (Table 2).
+type Namespace uint8
+
+// The namespaces of the unified address space.
+const (
+	NSInvalid Namespace = iota
+	NSSwitch            // per-switch, global
+	NSPort              // per-port, context-relative to the egress port
+	NSQueue             // per-queue, context-relative to the egress queue
+	NSPacket            // per-packet metadata registers
+	NSSRAM              // scratch SRAM shared by network tasks
+	NSPortAbs           // absolute per-port statistics window
+)
+
+// String names the namespace using the paper's terminology.
+func (n Namespace) String() string {
+	switch n {
+	case NSSwitch:
+		return "Switch"
+	case NSPort:
+		return "Link"
+	case NSQueue:
+		return "Queue"
+	case NSPacket:
+		return "PacketMetadata"
+	case NSSRAM:
+		return "SRAM"
+	case NSPortAbs:
+		return "PortAbs"
+	}
+	return "Invalid"
+}
+
+// Region boundaries (word addresses).
+const (
+	SwitchBase  Addr = 0x000
+	PortBase    Addr = 0x100
+	QueueBase   Addr = 0x200
+	PacketBase  Addr = 0x300
+	SRAMBase    Addr = 0x400
+	SRAMWords        = 0x800 // 2048 words = 8 KiB of scratch SRAM
+	PortAbsBase Addr = 0xC00
+
+	// PortAbsStride is the per-port block size in the absolute window:
+	// word PortAbsBase + port*PortAbsStride + stat mirrors the
+	// context-relative Port namespace word stat.
+	PortAbsStride = 32
+	// MaxPorts is the largest port count addressable through the
+	// absolute window.
+	MaxPorts = (AddrSpaceWords - int(PortAbsBase)) / PortAbsStride
+)
+
+// Per-switch statistic word indexes (offset from SwitchBase).
+const (
+	SwitchID          = 0 // administratively assigned switch id
+	SwitchNumPorts    = 1
+	SwitchClockLo     = 2 // dataplane clock, ns, low 32 bits
+	SwitchClockHi     = 3
+	SwitchFlowVersion = 4 // flow table version number (ndb, Table 2)
+	SwitchL2Size      = 5 // entries in the L2 MAC table
+	SwitchL3Size      = 6 // entries in the L3 LPM table
+	SwitchTCAMSize    = 7 // entries in the TCAM
+	SwitchPackets     = 8 // packets switched (low 32 bits)
+	SwitchTPPs        = 9 // TPPs executed by the TCPU
+
+	switchStatWords = 10
+)
+
+// Per-port (link) statistic word indexes (offset from PortBase, and from
+// each block of the absolute window).  Rates are bytes/second, which
+// represents links up to ~34 Gb/s in 32 bits.
+const (
+	PortQueueSize = 0  // bytes currently enqueued across the port's queues
+	PortRXUtil    = 1  // EWMA ingress utilization, bytes/sec
+	PortTXUtil    = 2  // EWMA egress utilization, bytes/sec
+	PortRXBytes   = 3  // cumulative bytes received (wraps)
+	PortTXBytes   = 4  // cumulative bytes transmitted (wraps)
+	PortDropBytes = 5  // cumulative bytes dropped at the egress queues
+	PortEnqBytes  = 6  // cumulative bytes enqueued
+	PortCapacity  = 7  // link capacity, bytes/sec
+	PortSNR       = 16 // wireless channel SNR, centi-dB (access points)
+
+	// PortScratchBase..+PortScratchWords-1 are task scratch words that
+	// TPPs may write; the control-plane agent assigns them to tasks.
+	// Word PortScratchBase is conventionally the RCP fair-share rate
+	// register ([Link:RCP-RateRegister]).
+	PortScratchBase  = 8
+	PortScratchWords = 8
+
+	portStatWords = 32
+)
+
+// Per-queue statistic word indexes (offset from QueueBase).
+const (
+	QueueBytes       = 0 // bytes enqueued right now (occupancy)
+	QueueDropBytes   = 1 // cumulative bytes dropped
+	QueuePackets     = 2 // cumulative packets enqueued
+	QueueDropPackets = 3 // cumulative packets dropped
+	QueueMaxBytes    = 4 // configured capacity
+
+	queueStatWords = 5
+)
+
+// Per-packet metadata word indexes (offset from PacketBase).
+const (
+	PacketInputPort  = 0
+	PacketOutputPort = 1
+	PacketMatchedID  = 2 // matched flow entry id (ndb)
+	PacketMatchedVer = 3 // matched flow entry version (ndb)
+	PacketQueueID    = 4
+	PacketAltRoutes  = 5
+	PacketUIDLo      = 6
+	PacketUIDHi      = 7
+	PacketHopLatency = 8 // ns spent in this switch so far (low 32 bits)
+
+	packetStatWords = 9
+)
+
+// NamespaceOf classifies a word address.
+func NamespaceOf(a Addr) Namespace {
+	switch {
+	case a >= AddrSpaceWords:
+		return NSInvalid
+	case a >= PortAbsBase:
+		return NSPortAbs
+	case a >= SRAMBase:
+		return NSSRAM
+	case a >= PacketBase:
+		return NSPacket
+	case a >= QueueBase:
+		return NSQueue
+	case a >= PortBase:
+		return NSPort
+	default:
+		return NSSwitch
+	}
+}
+
+// SRAMIndex converts an SRAM address to its word offset within the SRAM
+// bank, or -1 if a is not an SRAM address.
+func SRAMIndex(a Addr) int {
+	if NamespaceOf(a) != NSSRAM {
+		return -1
+	}
+	return int(a - SRAMBase)
+}
+
+// PortAbs returns the absolute-window address of statistic stat on port
+// p.  It panics if p or stat are out of range; callers validate against
+// MaxPorts.
+func PortAbs(p int, stat int) Addr {
+	if p < 0 || p >= MaxPorts || stat < 0 || stat >= PortAbsStride {
+		panic(fmt.Sprintf("mem: PortAbs(%d, %d) out of range", p, stat))
+	}
+	return PortAbsBase + Addr(p*PortAbsStride+stat)
+}
+
+// PortAbsDecode splits an absolute-window address into (port, stat).
+func PortAbsDecode(a Addr) (port, stat int) {
+	off := int(a - PortAbsBase)
+	return off / PortAbsStride, off % PortAbsStride
+}
+
+// Writable reports whether a TPP store to address a is permitted by the
+// memory protection map: scratch SRAM and per-port task scratch words
+// are read-write; every statistics word is read-only, which "isolates
+// critical forwarding state from state modifiable by TPPs" (§4).
+func Writable(a Addr) bool {
+	switch NamespaceOf(a) {
+	case NSSRAM:
+		return true
+	case NSPort:
+		stat := int(a - PortBase)
+		return stat >= PortScratchBase && stat < PortScratchBase+PortScratchWords
+	case NSPortAbs:
+		_, stat := PortAbsDecode(a)
+		return stat >= PortScratchBase && stat < PortScratchBase+PortScratchWords
+	default:
+		return false
+	}
+}

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupPaperMnemonics(t *testing.T) {
+	// Every mnemonic spelled out in the paper's example programs must
+	// resolve.
+	paper := []string{
+		"Queue:QueueSize",               // §2.1
+		"Switch:SwitchID",               // §2.2 phase 1
+		"Link:QueueSize",                // §2.2 phase 1
+		"Link:RX-Utilization",           // §2.2 phase 1
+		"Link:RCP-RateRegister",         // §2.2 phase 1 & 3
+		"Switch:ID",                     // §2.3
+		"PacketMetadata:MatchedEntryID", // §2.3
+		"PacketMetadata:InputPort",      // §2.3
+	}
+	for _, name := range paper {
+		if _, ok := LookupSymbol(name); !ok {
+			t.Errorf("paper mnemonic %q does not resolve", name)
+		}
+	}
+}
+
+func TestSymbolAliases(t *testing.T) {
+	a1, _ := LookupSymbol("Switch:SwitchID")
+	a2, _ := LookupSymbol("Switch:ID")
+	if a1 != a2 {
+		t.Error("Switch:ID must alias Switch:SwitchID")
+	}
+	q1, _ := LookupSymbol("Queue:QueueSize")
+	q2, _ := LookupSymbol("Queue:BytesEnqueued")
+	if q1 != q2 {
+		t.Error("Queue:QueueSize must alias Queue:BytesEnqueued")
+	}
+}
+
+func TestSymbolAddressesLandInTheirNamespace(t *testing.T) {
+	for _, name := range SymbolNames() {
+		a, _ := LookupSymbol(name)
+		ns := NamespaceOf(a)
+		prefix := strings.SplitN(name, ":", 2)[0]
+		want := map[string]Namespace{
+			"Switch": NSSwitch, "Link": NSPort, "Queue": NSQueue,
+			"PacketMetadata": NSPacket,
+		}[prefix]
+		if ns != want {
+			t.Errorf("symbol %q resolves to namespace %v, want %v", name, ns, want)
+		}
+	}
+}
+
+func TestNameOfRoundTrip(t *testing.T) {
+	for _, name := range []string{"Switch:SwitchID", "Link:QueueSize",
+		"Link:RCP-RateRegister", "Queue:QueueSize"} {
+		a, _ := LookupSymbol(name)
+		if got := NameOf(a); got != name {
+			t.Errorf("NameOf(%#x) = %q, want preferred name %q", a, got, name)
+		}
+	}
+	if got := NameOf(SRAMBase + 0x20); got != "SRAM:0x20" {
+		t.Errorf("SRAM NameOf = %q", got)
+	}
+	if got := NameOf(PortAbs(2, 0)); got != "Port2:0x0" {
+		t.Errorf("PortAbs NameOf = %q", got)
+	}
+}
+
+func TestParseSymbolOrAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+	}{
+		{"Switch:SwitchID", SwitchBase + SwitchID},
+		{"SRAM:0x10", SRAMBase + 0x10},
+		{"SRAM:16", SRAMBase + 16},
+		{"Port3:0", PortAbs(3, 0)},
+		{"0x205", 0x205},
+		{"517", 517},
+	}
+	for _, c := range cases {
+		got, err := ParseSymbolOrAddr(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseSymbolOrAddr(%q) = %#x, %v; want %#x", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"Nope:Thing", "SRAM:99999", "Port999:0", "0x9999", "xyz"} {
+		if _, err := ParseSymbolOrAddr(bad); err == nil {
+			t.Errorf("ParseSymbolOrAddr(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSymbolNamesSortedAndComplete(t *testing.T) {
+	names := SymbolNames()
+	if len(names) < 25 {
+		t.Fatalf("symbol table too small: %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("SymbolNames must be sorted and unique")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package mem
+
+import "fmt"
+
+// View is the per-packet window onto a switch's unified memory map that
+// the TCPU executes against.  A View is constructed by the ASIC for
+// each TPP it processes: context-relative namespaces (Port, Queue,
+// PacketMetadata) resolve using that packet's pipeline metadata.
+type View interface {
+	// Load reads the 32-bit word at address a.
+	Load(a Addr) (uint32, error)
+	// Store writes the word at address a, subject to the protection
+	// map (Writable).
+	Store(a Addr, v uint32) error
+}
+
+// AccessError describes a faulting TPP memory access; the TCPU converts
+// it into the FlagError bit on the packet.
+type AccessError struct {
+	Addr  Addr
+	Write bool
+	Cause string
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	op := "load"
+	if e.Write {
+		op = "store"
+	}
+	return fmt.Sprintf("mem: %s %s (%s): %s", op, NameOf(e.Addr), e.Addr.nsString(), e.Cause)
+}
+
+func (a Addr) nsString() string { return NamespaceOf(a).String() }
+
+// ErrUnmapped builds the error for an access to an address no bank
+// backs.
+func ErrUnmapped(a Addr, write bool) error {
+	return &AccessError{Addr: a, Write: write, Cause: "unmapped"}
+}
+
+// ErrReadOnly builds the error for a store to protected state.
+func ErrReadOnly(a Addr) error {
+	return &AccessError{Addr: a, Write: true, Cause: "read-only"}
+}

@@ -1,0 +1,151 @@
+package microburst
+
+import (
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// BreakdownProgram samples, at every hop, the egress queue occupancy
+// and the link capacity, from which the end-host computes the queueing
+// latency the packet experienced there — the "detailed breakdown of
+// queueing latencies on all network hops" of §2.1.
+func BreakdownProgram(maxHops int) *core.TPP {
+	return core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+		{Op: core.OpPUSH, A: uint16(mem.PortBase + mem.PortCapacity)},
+	}, 2*maxHops)
+}
+
+// HopLatencies converts an executed breakdown TPP into per-hop queueing
+// latencies in microseconds (queue bytes ahead of the packet divided by
+// the drain rate).
+func HopLatencies(t *core.TPP) []float64 {
+	hops := int(t.Ptr) / 4 / 2
+	out := make([]float64, 0, hops)
+	for i := 0; i < hops; i++ {
+		q := float64(t.Word(2 * i))
+		c := float64(t.Word(2*i + 1))
+		if c <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, q/c*1e6)
+	}
+	return out
+}
+
+// BreakdownConfig parameterizes the latency-breakdown experiment: a
+// 3-switch path whose middle switch also carries bursty cross traffic,
+// so one hop dominates the end-to-end queueing latency.
+type BreakdownConfig struct {
+	Packets     int
+	CrossBursts int
+	CrossBytes  int
+	Seed        int64
+}
+
+// DefaultBreakdownConfig is the canonical run.
+func DefaultBreakdownConfig() BreakdownConfig {
+	return BreakdownConfig{Packets: 400, CrossBursts: 20, CrossBytes: 30_000, Seed: 1}
+}
+
+// HopStats summarizes one hop's queueing-latency distribution.
+type HopStats struct {
+	Hop    int
+	MeanUs float64
+	P99Us  float64
+	MaxUs  float64
+}
+
+// BreakdownResult is the per-hop latency breakdown.
+type BreakdownResult struct {
+	Config BreakdownConfig
+	Hops   []HopStats
+	// DominantHop is the hop index (0-based) with the largest mean
+	// queueing latency; the experiment arranges for it to be hop 1
+	// (the cross-traffic switch).
+	DominantHop int
+	Samples     int
+}
+
+// RunBreakdown executes the experiment.
+func RunBreakdown(cfg BreakdownConfig) BreakdownResult {
+	sim := netsim.New(cfg.Seed)
+	n := topo.NewNetwork(sim)
+	edge := topo.Mbps(100, 10*netsim.Microsecond)
+	fabric := topo.Mbps(20, 10*netsim.Microsecond)
+
+	sws := make([]*asic.Switch, 3)
+	for i := range sws {
+		sws[i] = n.AddSwitch(asic.Config{Ports: 4, QueueCapBytes: 400_000})
+	}
+	n.LinkSwitches(sws[0], sws[1], fabric)
+	n.LinkSwitches(sws[1], sws[2], fabric)
+	src := n.AddHost()
+	dst := n.AddHost()
+	cross := n.AddHost()
+	n.LinkHost(src, sws[0], edge)
+	n.LinkHost(dst, sws[2], edge)
+	n.LinkHost(cross, sws[1], edge) // bursts into the S1->S2 hop
+	n.PrimeL2(10 * netsim.Millisecond)
+
+	hists := make([]*stats.Histogram, 3)
+	for i := range hists {
+		hists[i] = &stats.Histogram{}
+	}
+	samples := 0
+	dst.HandleDefault(func(pkt *core.Packet) {
+		if pkt.TPP == nil {
+			return
+		}
+		for hop, lat := range HopLatencies(pkt.TPP) {
+			if hop < len(hists) {
+				hists[hop].Add(lat)
+			}
+		}
+		samples++
+	})
+
+	// Cross bursts toward dst: they share only the S1 egress with the
+	// probe stream.
+	start := sim.Now()
+	crossPkts := (cfg.CrossBytes + 957) / 958
+	for b := 0; b < cfg.CrossBursts; b++ {
+		at := start + netsim.Time(b)*50*netsim.Millisecond
+		sim.At(at, func() {
+			for i := 0; i < crossPkts; i++ {
+				cross.Send(cross.NewPacket(dst.MAC, dst.IP, 7000, 7001, 958))
+			}
+		})
+	}
+	// Instrumented probe stream, one packet every 2ms.
+	sent := 0
+	tick := sim.Every(start, 2*netsim.Millisecond, func() {
+		if sent >= cfg.Packets {
+			return
+		}
+		sent++
+		pkt := src.NewPacket(dst.MAC, dst.IP, 7002, 7003, 200)
+		pkt.TPP = BreakdownProgram(3)
+		pkt.Eth.Type = core.EtherTypeTPP
+		src.Send(pkt)
+	})
+	sim.RunUntil(start + netsim.Time(cfg.Packets)*2*netsim.Millisecond + netsim.Second)
+	tick.Stop()
+
+	res := BreakdownResult{Config: cfg, Samples: samples}
+	best := -1.0
+	for i, h := range hists {
+		hs := HopStats{Hop: i, MeanUs: h.Mean(), P99Us: h.Quantile(0.99), MaxUs: h.Quantile(1)}
+		res.Hops = append(res.Hops, hs)
+		if hs.MeanUs > best {
+			best = hs.MeanUs
+			res.DominantHop = i
+		}
+	}
+	return res
+}

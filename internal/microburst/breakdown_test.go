@@ -1,0 +1,75 @@
+package microburst
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestHopLatenciesComputation(t *testing.T) {
+	tpp := BreakdownProgram(3)
+	// Hop 0: 12500 bytes queued at 1.25 MB/s -> 10000 us.
+	tpp.SetWord(0, 12_500)
+	tpp.SetWord(1, 1_250_000)
+	// Hop 1: empty queue.
+	tpp.SetWord(2, 0)
+	tpp.SetWord(3, 1_250_000)
+	// Hop 2: zero capacity register (unwired port): guarded.
+	tpp.SetWord(4, 999)
+	tpp.SetWord(5, 0)
+	tpp.Ptr = 24
+
+	lats := HopLatencies(tpp)
+	if len(lats) != 3 {
+		t.Fatalf("hops = %d", len(lats))
+	}
+	if lats[0] < 9_999 || lats[0] > 10_001 {
+		t.Fatalf("hop 0 latency = %f us", lats[0])
+	}
+	if lats[1] != 0 || lats[2] != 0 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+func TestBreakdownLocalizesCongestedHop(t *testing.T) {
+	res := RunBreakdown(DefaultBreakdownConfig())
+	if res.Samples < 300 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	if len(res.Hops) != 3 {
+		t.Fatalf("hops = %d", len(res.Hops))
+	}
+	// The cross traffic joins at switch 1 (hop index 1): that hop must
+	// dominate the breakdown.
+	if res.DominantHop != 1 {
+		t.Fatalf("dominant hop = %d, want 1 (per-hop means: %v, %v, %v)",
+			res.DominantHop, res.Hops[0].MeanUs, res.Hops[1].MeanUs, res.Hops[2].MeanUs)
+	}
+	if res.Hops[1].MeanUs < 2*res.Hops[0].MeanUs {
+		t.Fatalf("congested hop not clearly dominant: %v vs %v",
+			res.Hops[1].MeanUs, res.Hops[0].MeanUs)
+	}
+	if res.Hops[1].P99Us < res.Hops[1].MeanUs {
+		t.Fatal("p99 below mean")
+	}
+}
+
+func TestBreakdownDeterminism(t *testing.T) {
+	cfg := DefaultBreakdownConfig()
+	cfg.Packets = 100
+	a := RunBreakdown(cfg)
+	b := RunBreakdown(cfg)
+	if a.Samples != b.Samples || a.Hops[1].MeanUs != b.Hops[1].MeanUs {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestBreakdownProgramShape(t *testing.T) {
+	p := BreakdownProgram(5)
+	if len(p.Ins) != 2 || p.MemWords() != 10 {
+		t.Fatalf("program: %d ins, %d words", len(p.Ins), p.MemWords())
+	}
+	if p.Ins[0].Op != core.OpPUSH || p.Ins[1].Op != core.OpPUSH {
+		t.Fatal("not a PUSH program")
+	}
+}

@@ -1,0 +1,59 @@
+package ndb
+
+import (
+	"repro/internal/asic"
+	"repro/internal/tcam"
+)
+
+// PathHop names one intended forwarding step: at Switch, send matching
+// packets out OutPort.
+type PathHop struct {
+	Switch  *asic.Switch
+	OutPort int
+}
+
+// Controller is the SDN controller's view of the network: it installs
+// flow rules and keeps the shadow copy of its intent that the verifier
+// checks traces against.  A mismatch between this shadow state and what
+// the dataplane actually matched is exactly the control/dataplane
+// divergence §2.3 motivates: "there can be a mismatch between the
+// control plane's view of routing state and the actual forwarding state
+// in hardware".
+type Controller struct {
+	intents map[uint32][]Expectation // keyed by destination IP
+}
+
+// NewController builds an empty controller.
+func NewController() *Controller {
+	return &Controller{intents: make(map[uint32][]Expectation)}
+}
+
+// InstallPath programs a destination-IP route along the given hops,
+// one TCAM rule per switch, and records the intent.  It returns the
+// installed entry ids in path order.
+func (c *Controller) InstallPath(dstIP uint32, priority int, path []PathHop) []uint32 {
+	ids := make([]uint32, 0, len(path))
+	var want []Expectation
+	for _, hop := range path {
+		v, m := tcam.DstIPRule(dstIP)
+		id := hop.Switch.TCAM().Insert(priority, v, m, tcam.Action{OutPort: hop.OutPort})
+		e, _ := hop.Switch.TCAM().Get(id)
+		ids = append(ids, id)
+		want = append(want, Expectation{
+			SwitchID:     hop.Switch.ID(),
+			EntryID:      id,
+			EntryVersion: e.Version,
+		})
+	}
+	c.intents[dstIP] = want
+	return ids
+}
+
+// Expected returns the intended journey for packets to dstIP.
+func (c *Controller) Expected(dstIP uint32) []Expectation { return c.intents[dstIP] }
+
+// VerifyTrace checks one recorded journey against the controller's
+// intent for dstIP.
+func (c *Controller) VerifyTrace(dstIP uint32, trace []HopRecord) []Violation {
+	return Verify(trace, c.intents[dstIP])
+}

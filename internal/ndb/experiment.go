@@ -1,0 +1,154 @@
+package ndb
+
+import (
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/tcam"
+	"repro/internal/topo"
+)
+
+// Config parameterizes the forwarding-plane-debugger experiment on a
+// 2x2 leaf-spine fabric.
+type Config struct {
+	Packets  int // instrumented data packets to trace
+	EdgeMbps float64
+	Seed     int64
+}
+
+// DefaultConfig is the canonical run.
+func DefaultConfig() Config {
+	return Config{Packets: 200, EdgeMbps: 100, Seed: 1}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Config Config
+
+	// Phase 1: conforming network.
+	CleanTraces     int
+	CleanViolations int
+
+	// Phase 2: after the injected misconfiguration (the controller's
+	// shadow state goes stale).
+	BadTraces      int
+	BadViolations  []Violation
+	ViolationKinds map[ViolationKind]int
+
+	// Overhead comparison, TPP in-band bytes vs baseline packet
+	// copies, over the same traffic.
+	TPPInBandBytes    uint64
+	BaselineCopies    uint64
+	BaselineCopyBytes uint64
+	JourneysAgree     bool
+}
+
+// Run executes the experiment: trace a conforming fabric, inject a
+// stale-rule misconfiguration, and show the TPP traces catching it.
+func Run(cfg Config) Result {
+	sim := netsim.New(cfg.Seed)
+	edge := topo.Mbps(cfg.EdgeMbps, 10*netsim.Microsecond)
+	fabric := topo.Mbps(cfg.EdgeMbps, 10*netsim.Microsecond)
+	n, hosts, leaves, spines := topo.LeafSpine(sim, 2, 2, 1, edge, fabric, asic.Config{})
+	src, dst := hosts[0][0], hosts[1][0]
+
+	// Port bookkeeping from construction order: each leaf connects to
+	// spine0 then spine1 on ports 0 and 1; hosts follow.
+	leaf0ToSpine0 := 0
+	leaf0ToSpine1 := 1
+	spine0ToLeaf1 := 1 // spine ports: leaf0 wired first (port 0), then leaf1
+	spine1ToLeaf1 := 1
+	dstPort := n.AttachmentOf(dst).Port
+
+	ctl := NewController()
+	ctl.InstallPath(dst.IP, 10, []PathHop{
+		{Switch: leaves[0], OutPort: leaf0ToSpine0},
+		{Switch: spines[0], OutPort: spine0ToLeaf1},
+		{Switch: leaves[1], OutPort: dstPort},
+	})
+	// The alternate spine also knows the way (valid state, just not
+	// the intended path for this destination).
+	altID := spines[1].TCAM().Insert(10, mustRule(dst.IP), maskRule(dst.IP),
+		tcam.Action{OutPort: spine1ToLeaf1})
+	_ = altID
+	// Reverse path so nothing floods.
+	srcPort := n.AttachmentOf(src).Port
+	ctl.InstallPath(src.IP, 10, []PathHop{
+		{Switch: leaves[1], OutPort: 0 /* to spine0 */},
+		{Switch: spines[0], OutPort: 0 /* to leaf0 */},
+		{Switch: leaves[0], OutPort: srcPort},
+	})
+
+	copyCollector := NewCopyCollector()
+	for _, sw := range append(append([]*asic.Switch{}, leaves...), spines...) {
+		copyCollector.AttachTo(sw)
+	}
+
+	res := Result{Config: cfg, ViolationKinds: make(map[ViolationKind]int)}
+	var lastTrace []HopRecord
+	var lastUID uint64
+	verify := func(pkt *core.Packet) {
+		if pkt.TPP == nil {
+			return
+		}
+		trace := ParseTrace(pkt.TPP)
+		lastTrace = trace
+		lastUID = pkt.Meta.UID
+		res.TPPInBandBytes += uint64(pkt.TPP.WireLen())
+		violations := ctl.VerifyTrace(dst.IP, trace)
+		if len(violations) == 0 {
+			res.CleanTraces++
+			return
+		}
+		res.BadTraces++
+		res.BadViolations = append(res.BadViolations, violations...)
+		for _, v := range violations {
+			res.ViolationKinds[v.Kind]++
+		}
+	}
+	dst.HandleDefault(verify)
+
+	send := func(count int) {
+		for i := 0; i < count; i++ {
+			pkt := src.NewPacket(dst.MAC, dst.IP, 6000, 6001, 200)
+			Instrument(pkt, 5)
+			src.Send(pkt)
+		}
+		sim.RunUntil(sim.Now() + 500*netsim.Millisecond)
+	}
+
+	// Phase 1: conforming fabric.
+	send(cfg.Packets / 2)
+	res.CleanViolations = len(res.BadViolations)
+
+	// The TPP journey and the baseline copy journey must agree.
+	copyTrace := copyCollector.Journey(lastUID)
+	res.JourneysAgree = tracesEqual(lastTrace, copyTrace)
+
+	// Phase 2: inject the misconfiguration §2.3 worries about — the
+	// hardware rule changes underneath the controller (rerouted via
+	// the other spine, bumping the entry version), so the controller's
+	// shadow state is stale.
+	intended := ctl.Expected(dst.IP)
+	leaves[0].TCAM().Update(intended[0].EntryID, tcam.Action{OutPort: leaf0ToSpine1})
+	send(cfg.Packets / 2)
+
+	res.BaselineCopies = copyCollector.Copies
+	res.BaselineCopyBytes = copyCollector.CopyBytes
+	return res
+}
+
+func mustRule(ip uint32) tcam.Key { v, _ := tcam.DstIPRule(ip); return v }
+func maskRule(ip uint32) tcam.Key { _, m := tcam.DstIPRule(ip); return m }
+
+func tracesEqual(a, b []HopRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Receiver is anything that can accept a packet from a link: a switch
+// ingress pipeline or a host NIC.
+type Receiver interface {
+	// Receive is called when the last bit of the packet arrives on
+	// the receiver's port.
+	Receive(pkt *core.Packet, port int)
+}
+
+// Channel is one direction of a link: a serializing transmitter with a
+// fixed bit rate and propagation delay.  The owning node (switch port
+// or host NIC) is responsible for queueing; a Channel transmits one
+// packet at a time and reports idleness through the OnIdle callback, a
+// cut at the same place as a real MAC's transmit-complete interrupt.
+type Channel struct {
+	sim   *Sim
+	rate  int64 // bits per second
+	delay Time
+
+	dst     Receiver
+	dstPort int
+
+	busyUntil Time
+	onIdle    func()
+
+	lossRate float64
+	lossRand *rand.Rand
+
+	// Counters read by the port statistics machinery.
+	BytesSent   uint64
+	PacketsSent uint64
+	// PacketsLost counts frames corrupted in flight by the loss model.
+	PacketsLost uint64
+}
+
+// NewChannel builds a channel delivering to dst's port dstPort at rate
+// bits/second with the given propagation delay.
+func NewChannel(sim *Sim, rate int64, delay Time, dst Receiver, dstPort int) *Channel {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: channel rate %d must be positive", rate))
+	}
+	if delay < 0 {
+		panic("netsim: negative propagation delay")
+	}
+	return &Channel{sim: sim, rate: rate, delay: delay, dst: dst, dstPort: dstPort}
+}
+
+// Rate returns the channel capacity in bits per second.
+func (c *Channel) Rate() int64 { return c.rate }
+
+// RateBytes returns the channel capacity in bytes per second, the unit
+// the TPP memory map exposes ([Link:Capacity]).
+func (c *Channel) RateBytes() uint32 { return uint32(c.rate / 8) }
+
+// Delay returns the propagation delay.
+func (c *Channel) Delay() Time { return c.delay }
+
+// SetOnIdle registers the callback invoked each time a transmission
+// completes; the owner uses it to dequeue the next packet.
+func (c *Channel) SetOnIdle(fn func()) { c.onIdle = fn }
+
+// SetLoss makes the channel drop each frame independently with
+// probability p, using its own deterministic random source — the
+// failure-injection knob for robustness tests ("TPPs are therefore
+// subject to congestion", and on real links to corruption too).
+func (c *Channel) SetLoss(p float64, seed int64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1)", p))
+	}
+	c.lossRate = p
+	c.lossRand = rand.New(rand.NewSource(seed))
+}
+
+// Busy reports whether a transmission is in progress.
+func (c *Channel) Busy() bool { return c.sim.Now() < c.busyUntil }
+
+// SerializationDelay returns how long a frame of n bytes occupies the
+// transmitter.
+func (c *Channel) SerializationDelay(n int) Time {
+	return Time(int64(n) * 8 * int64(Second) / c.rate)
+}
+
+// Send begins transmitting pkt.  It must only be called when the
+// channel is idle (drive it from OnIdle); calling it while busy panics
+// because it means the owner's queueing is broken.  It returns the time
+// the last bit leaves the transmitter.
+func (c *Channel) Send(pkt *core.Packet) Time {
+	if c.Busy() {
+		panic("netsim: Send on busy channel")
+	}
+	wire := pkt.WireLen()
+	done := c.sim.Now() + c.SerializationDelay(wire)
+	c.busyUntil = done
+	c.BytesSent += uint64(wire)
+	c.PacketsSent++
+	c.sim.At(done, func() {
+		if c.onIdle != nil {
+			c.onIdle()
+		}
+	})
+	if c.lossRate > 0 && c.lossRand.Float64() < c.lossRate {
+		// The frame occupies the wire but arrives corrupted and is
+		// discarded by the receiver's FCS check.
+		c.PacketsLost++
+		return done
+	}
+	c.sim.At(done+c.delay, func() {
+		c.dst.Receive(pkt, c.dstPort)
+	})
+	return done
+}

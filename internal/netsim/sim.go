@@ -1,0 +1,156 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// the substrate standing in for the paper's Linux-router testbed and
+// ns-2 setup (see DESIGN.md §2).  It provides a virtual clock, a stable
+// event queue, timers and byte-accurate links; switches and hosts are
+// built on top in internal/asic and internal/endhost.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Convenient units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a float second count into simulated time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Milliseconds converts a float millisecond count into simulated time.
+func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Seconds returns the time as float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time in seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is a discrete-event scheduler.  Events at equal times fire in
+// scheduling order (FIFO), which makes runs fully deterministic for a
+// given seed.  Sim is not safe for concurrent use: the dataplane model
+// is single-threaded, like one ASIC pipeline.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New creates a simulator whose random source is seeded with seed, so
+// experiments are reproducible.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t.  Scheduling in the past
+// panics: it is always a modeling bug.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop makes Run and RunUntil return after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run processes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		s.step()
+	}
+}
+
+// RunUntil processes every event scheduled at or before t, then
+// advances the clock to exactly t.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped && s.events[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Sim) step() {
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+}
+
+// Ticker fires a callback periodically until stopped.
+type Ticker struct {
+	sim     *Sim
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// Every schedules fn to run first at start and then every period.  It
+// returns a Ticker whose Stop cancels future firings.
+func (s *Sim) Every(start, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("netsim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	s.At(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.sim.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels the ticker.  Safe to call multiple times, including from
+// inside the callback.
+func (t *Ticker) Stop() { t.stopped = true }

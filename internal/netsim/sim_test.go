@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUnitsAndFormatting(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Error("Seconds conversion wrong")
+	}
+	if Milliseconds(2) != 2*Millisecond {
+		t.Error("Milliseconds conversion wrong")
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Time.Seconds = %v", got)
+	}
+	if got := (1 * Microsecond).String(); got != "0.000001s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+// Property: events fire in nondecreasing time regardless of insertion
+// order, and FIFO within a timestamp.
+func TestEventHeapInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s := New(1)
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var fired []stamp
+	n := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		at := s.Now() + Time(r.Intn(50))
+		mySeq := n
+		n++
+		s.At(at, func() {
+			fired = append(fired, stamp{s.Now(), mySeq})
+			if depth < 3 && r.Intn(2) == 0 {
+				schedule(depth + 1)
+			}
+		})
+	}
+	for i := 0; i < 300; i++ {
+		schedule(0)
+	}
+	s.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i].at < fired[j].at }) {
+		t.Fatal("events fired out of time order")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past scheduling did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestAfter(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(100, func() {
+		s.After(25, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 125 {
+		t.Fatalf("After fired at %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(10, func() { count++ })
+	s.At(20, func() { count++ })
+	s.At(30, func() { count++ })
+	s.RunUntil(20)
+	if count != 2 {
+		t.Fatalf("count = %d after RunUntil(20)", count)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("now = %v", s.Now())
+	}
+	s.RunUntil(100)
+	if count != 3 || s.Now() != 100 {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(1, func() { count++; s.Stop() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, Stop ignored", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []Time
+	tk := s.Every(10, 5, func() { times = append(times, s.Now()) })
+	s.At(27, func() { tk.Stop() })
+	s.Run()
+	want := []Time{10, 15, 20, 25}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v", times)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(0, 1, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Every(0, 0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		var vals []int64
+		s.Every(0, 7, func() {
+			vals = append(vals, s.Rand().Int63n(1000))
+			if len(vals) >= 50 {
+				s.Stop()
+			}
+		})
+		s.Run()
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different runs")
+		}
+	}
+}
+
+// sink collects received packets with their arrival times.
+type sink struct {
+	sim     *Sim
+	pkts    []*core.Packet
+	ports   []int
+	arrived []Time
+}
+
+func (k *sink) Receive(p *core.Packet, port int) {
+	k.pkts = append(k.pkts, p)
+	k.ports = append(k.ports, port)
+	k.arrived = append(k.arrived, k.sim.Now())
+}
+
+func mkPacket(payload int) *core.Packet {
+	return &core.Packet{
+		Eth:    core.Ethernet{Type: core.EtherTypeIPv4},
+		PadLen: payload,
+	}
+}
+
+func TestChannelTiming(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	// 8 Mb/s: 1 byte per microsecond.  Delay 100us.
+	ch := NewChannel(s, 8_000_000, 100*Microsecond, k, 3)
+	pkt := mkPacket(986) // 986 + 14 eth = 1000 bytes = 1ms serialization
+	var doneAt Time
+	s.At(0, func() { doneAt = ch.Send(pkt) })
+	s.Run()
+	if doneAt != 1*Millisecond {
+		t.Fatalf("serialization done at %v", doneAt)
+	}
+	if len(k.pkts) != 1 || k.ports[0] != 3 {
+		t.Fatalf("delivery: %v ports=%v", k.pkts, k.ports)
+	}
+	if k.arrived[0] != 1*Millisecond+100*Microsecond {
+		t.Fatalf("arrival at %v", k.arrived[0])
+	}
+	if ch.BytesSent != 1000 || ch.PacketsSent != 1 {
+		t.Fatalf("counters: %d bytes %d pkts", ch.BytesSent, ch.PacketsSent)
+	}
+}
+
+func TestChannelBusyAndOnIdle(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 8_000_000, 0, k, 0)
+	idleCalls := 0
+	ch.SetOnIdle(func() { idleCalls++ })
+	s.At(0, func() {
+		ch.Send(mkPacket(86)) // 100 bytes = 100us
+		if !ch.Busy() {
+			t.Error("channel should be busy during transmission")
+		}
+	})
+	s.Run()
+	if idleCalls != 1 {
+		t.Fatalf("OnIdle called %d times", idleCalls)
+	}
+	if ch.Busy() {
+		t.Fatal("channel busy after completion")
+	}
+}
+
+func TestChannelSendWhileBusyPanics(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 8_000_000, 0, k, 0)
+	s.At(0, func() {
+		ch.Send(mkPacket(1000))
+		defer func() {
+			if recover() == nil {
+				t.Error("Send while busy did not panic")
+			}
+		}()
+		ch.Send(mkPacket(10))
+	})
+	s.Run()
+}
+
+func TestChannelBackToBackThroughput(t *testing.T) {
+	// Saturating the channel must deliver exactly rate bytes/sec.
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 10_000_000, 0, k, 0) // 10 Mb/s
+	sent := 0
+	var pump func()
+	pump = func() {
+		if sent >= 100 {
+			return
+		}
+		sent++
+		ch.Send(mkPacket(1236)) // 1250 bytes on the wire
+	}
+	ch.SetOnIdle(pump)
+	s.At(0, pump)
+	s.Run()
+	// 100 packets * 1250 bytes = 125000 bytes at 1.25 MB/s = 0.1 s.
+	if got := s.Now(); got != Seconds(0.1) {
+		t.Fatalf("drained at %v, want 0.1s", got)
+	}
+	if len(k.pkts) != 100 {
+		t.Fatalf("delivered %d", len(k.pkts))
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	for _, fn := range []func(){
+		func() { NewChannel(s, 0, 0, k, 0) },
+		func() { NewChannel(s, 100, -1, k, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	ch := NewChannel(s, 8000, 5, k, 1)
+	if ch.Rate() != 8000 || ch.RateBytes() != 1000 || ch.Delay() != 5 {
+		t.Fatal("accessors wrong")
+	}
+	if d := ch.SerializationDelay(1000); d != Second {
+		t.Fatalf("SerializationDelay = %v", d)
+	}
+}

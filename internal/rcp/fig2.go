@@ -1,0 +1,197 @@
+package rcp
+
+import (
+	"fmt"
+
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// Variant selects which RCP implementation a Figure 2 run exercises.
+type Variant string
+
+// The two curves of Figure 2.
+const (
+	VariantStar     Variant = "rcpstar"  // TPP + end-host implementation
+	VariantBaseline Variant = "baseline" // native in-switch RCP (ns-2 stand-in)
+)
+
+// Fig2Config parameterizes the Figure 2 experiment: "a 10Mb/s
+// bottleneck link shared by three flows ... one flow each at t=0s,
+// t=10s and t=20s".
+type Fig2Config struct {
+	Variant        Variant
+	Duration       netsim.Time
+	FlowStarts     []netsim.Time
+	BottleneckMbps float64
+	EdgeMbps       float64
+	SampleEvery    netsim.Time
+	Params         Params
+	Seed           int64
+	// LossRate injects random frame loss on the bottleneck link
+	// (both data and probes), for robustness experiments; zero means
+	// lossless.
+	LossRate float64
+}
+
+// DefaultFig2Config returns the paper's setup.
+func DefaultFig2Config(v Variant) Fig2Config {
+	return Fig2Config{
+		Variant:        v,
+		Duration:       30 * netsim.Second,
+		FlowStarts:     []netsim.Time{0, 10 * netsim.Second, 20 * netsim.Second},
+		BottleneckMbps: 10,
+		EdgeMbps:       100,
+		SampleEvery:    100 * netsim.Millisecond,
+		Params:         DefaultParams(),
+		Seed:           1,
+	}
+}
+
+// Fig2Sample is one point of the Figure 2 series.
+type Fig2Sample struct {
+	T      float64   // seconds
+	ROverC float64   // fair-share rate R(t) normalized by capacity
+	Flows  []float64 // per-flow goodput over the last sample window, bytes/sec
+}
+
+// Fig2Result is a full run.
+type Fig2Result struct {
+	Config  Fig2Config
+	Samples []Fig2Sample
+}
+
+// RunFigure2 executes one Figure 2 run and returns the R(t)/C series.
+func RunFigure2(cfg Fig2Config) Fig2Result {
+	sim := netsim.New(cfg.Seed)
+	n := topo.NewNetwork(sim)
+
+	// Queues sized to one bandwidth-delay product of the bottleneck.
+	queueCap := int(cfg.BottleneckMbps * 1e6 / 8 * cfg.Params.D.Seconds())
+	swCfg := asic.Config{Ports: 8, QueueCapBytes: queueCap}
+	a := n.AddSwitch(swCfg)
+	b := n.AddSwitch(swCfg)
+	bottleneck := topo.Mbps(cfg.BottleneckMbps, 10*netsim.Millisecond)
+	edge := topo.Mbps(cfg.EdgeMbps, netsim.Millisecond)
+	aPort, _ := n.LinkSwitches(a, b, bottleneck)
+	if cfg.LossRate > 0 {
+		a.Port(aPort).Channel().SetLoss(cfg.LossRate, cfg.Seed+100)
+	}
+
+	flows := len(cfg.FlowStarts)
+	senders := make([]*endhost.Host, flows)
+	receivers := make([]*endhost.Host, flows)
+	for i := 0; i < flows; i++ {
+		senders[i] = n.AddHost()
+		n.LinkHost(senders[i], a, edge)
+	}
+	for i := 0; i < flows; i++ {
+		receivers[i] = n.AddHost()
+		n.LinkHost(receivers[i], b, edge)
+	}
+	n.PrimeL2(50 * netsim.Millisecond)
+
+	capacityBytes := float64(cfg.BottleneckMbps * 1e6 / 8)
+	recvBytes := make([]uint64, flows)
+
+	var rateOf func() float64
+	switch cfg.Variant {
+	case VariantStar:
+		InitRateRegisters(a, b)
+		for i := 0; i < flows; i++ {
+			i := i
+			receivers[i].Handle(StarDataPort, func(p *core.Packet) {
+				recvBytes[i] += uint64(p.PayloadLen())
+			})
+			ctl := NewStarController(sim, senders[i],
+				endhost.NewProber(senders[i]),
+				receivers[i].MAC, receivers[i].IP, cfg.Params)
+			sim.At(sim.Now()+cfg.FlowStarts[i], ctl.Start)
+		}
+		bnPort := a.Port(aPort)
+		rateOf = func() float64 { return float64(bnPort.Scratch(0)) }
+
+	case VariantBaseline:
+		base := NewBaseline(sim, cfg.Params)
+		link := base.Manage(a, aPort)
+		for i := 0; i < flows; i++ {
+			i := i
+			rcv := NewBaselineReceiver(sim, receivers[i], cfg.Params.T)
+			_ = rcv
+			receivers[i].Handle(BaselineDataPort, func(p *core.Packet) {
+				recvBytes[i] += uint64(p.PayloadLen())
+				rcv.onData(p)
+			})
+			snd := NewBaselineSender(sim, senders[i],
+				receivers[i].MAC, receivers[i].IP, capacityBytes)
+			sim.At(sim.Now()+cfg.FlowStarts[i], snd.Flow.Start)
+		}
+		rateOf = func() float64 { return link.Rate() }
+
+	default:
+		panic(fmt.Sprintf("rcp: unknown variant %q", cfg.Variant))
+	}
+
+	var result Fig2Result
+	result.Config = cfg
+	start := sim.Now()
+	lastBytes := make([]uint64, flows)
+	sim.Every(start+cfg.SampleEvery, cfg.SampleEvery, func() {
+		s := Fig2Sample{
+			T:      (sim.Now() - start).Seconds(),
+			ROverC: rateOf() / capacityBytes,
+		}
+		for i := range recvBytes {
+			s.Flows = append(s.Flows,
+				float64(recvBytes[i]-lastBytes[i])/cfg.SampleEvery.Seconds())
+			lastBytes[i] = recvBytes[i]
+		}
+		result.Samples = append(result.Samples, s)
+	})
+	sim.RunUntil(start + cfg.Duration)
+	return result
+}
+
+// MeanROverC averages R(t)/C over the samples with from <= t < to:
+// the convergence metric recorded in EXPERIMENTS.md.
+func (r Fig2Result) MeanROverC(from, to float64) float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Samples {
+		if s.T >= from && s.T < to {
+			sum += s.ROverC
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ConvergenceTime returns how long after a flow-count change R/C took
+// to stay within tol of target (scanning samples in [from, to)); it
+// returns to-from when it never settles.
+func (r Fig2Result) ConvergenceTime(from, to, target, tol float64) float64 {
+	settledAt := to
+	settled := false
+	for _, s := range r.Samples {
+		if s.T < from || s.T >= to {
+			continue
+		}
+		if d := s.ROverC - target; d >= -tol && d <= tol {
+			if !settled {
+				settled = true
+				settledAt = s.T
+			}
+		} else {
+			settled = false
+		}
+	}
+	if !settled {
+		return to - from
+	}
+	return settledAt - from
+}

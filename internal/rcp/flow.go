@@ -1,0 +1,137 @@
+package rcp
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+)
+
+// UDP ports used by the congestion-control experiment.
+const (
+	// BaselineDataPort marks native-RCP data packets; switches stamp
+	// the fair-share rate into their congestion header.
+	BaselineDataPort = 8000
+	// StarDataPort marks RCP* data packets (no in-network stamping).
+	StarDataPort = 8001
+	// FeedbackPort carries the receiver's rate feedback back to the
+	// sender in the native-RCP baseline.
+	FeedbackPort = 8002
+)
+
+// RateHeaderLen is the congestion header carried at the front of
+// baseline data payloads: the fair-share rate in bytes/sec.
+const RateHeaderLen = 4
+
+// PacketSize is the data packet payload size used by the experiment
+// (1000-byte frames on the wire once headers are added).
+const PacketSize = 958
+
+// PacedFlow is a long-lived, rate-paced UDP flow with infinite backlog:
+// the flow model of the Figure 2 experiment.
+type PacedFlow struct {
+	sim    *netsim.Sim
+	host   *endhost.Host
+	dstMAC core.MAC
+	dstIP  uint32
+	port   uint16
+	size   int // payload bytes per packet
+
+	rate    float64 // bytes/sec
+	running bool
+	epoch   int // invalidates scheduled sends from earlier Start/Stop cycles
+
+	// budget, when positive, bounds the payload bytes to send; the
+	// flow stops itself and calls onDone after the last packet.
+	budget uint64
+	onDone func()
+
+	// Sent counts transmitted packets; SentBytes counts payload bytes.
+	Sent      uint64
+	SentBytes uint64
+
+	// stampRate, when true, prepends the congestion header the
+	// baseline's switches stamp.
+	stampRate bool
+}
+
+// NewPacedFlow builds a flow from host toward the destination.
+func NewPacedFlow(sim *netsim.Sim, host *endhost.Host, dstMAC core.MAC, dstIP uint32, port uint16, stampRate bool) *PacedFlow {
+	return &PacedFlow{
+		sim: sim, host: host, dstMAC: dstMAC, dstIP: dstIP,
+		port: port, size: PacketSize, stampRate: stampRate,
+	}
+}
+
+// Rate returns the current pacing rate in bytes/sec.
+func (f *PacedFlow) Rate() float64 { return f.rate }
+
+// SetBudget makes this a finite flow of the given payload size; fn (may
+// be nil) runs when the last byte has been handed to the NIC.  Finite
+// flows model the "flows finish quickly" workloads RCP targets.
+func (f *PacedFlow) SetBudget(bytes uint64, fn func()) {
+	f.budget = bytes
+	f.onDone = fn
+}
+
+// Done reports whether a budgeted flow has sent everything.
+func (f *PacedFlow) Done() bool { return f.budget > 0 && f.SentBytes >= f.budget }
+
+// SetRate changes the pacing rate; it takes effect from the next
+// scheduled packet.
+func (f *PacedFlow) SetRate(r float64) {
+	if r < 1 {
+		r = 1
+	}
+	f.rate = r
+}
+
+// Start begins transmission at the current rate.
+func (f *PacedFlow) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.epoch++
+	epoch := f.epoch
+	f.sim.After(0, func() { f.pump(epoch) })
+}
+
+// Stop halts transmission.
+func (f *PacedFlow) Stop() { f.running = false; f.epoch++ }
+
+// Running reports whether the flow is transmitting.
+func (f *PacedFlow) Running() bool { return f.running }
+
+func (f *PacedFlow) pump(epoch int) {
+	if !f.running || epoch != f.epoch || f.rate <= 0 {
+		return
+	}
+	if f.Done() {
+		f.running = false
+		if f.onDone != nil {
+			f.onDone()
+		}
+		return
+	}
+	pkt := f.host.NewPacket(f.dstMAC, f.dstIP, f.port, f.port, 0)
+	if f.stampRate {
+		// Congestion header: initialized to "no limit" so the first
+		// switch's stamp always applies.
+		pkt.Payload = binary.BigEndian.AppendUint32(nil, ^uint32(0))
+		pkt.PadLen = f.size - RateHeaderLen
+	} else {
+		pkt.PadLen = f.size
+	}
+	f.host.Send(pkt)
+	f.Sent++
+	f.SentBytes += uint64(f.size)
+	// Pace: the next packet departs one serialization interval later
+	// at the current rate.
+	gap := netsim.Time(float64(f.size+42) / f.rate * float64(netsim.Second))
+	if gap < netsim.Microsecond {
+		gap = netsim.Microsecond
+	}
+	f.sim.After(gap, func() { f.pump(epoch) })
+}

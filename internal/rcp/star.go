@@ -1,0 +1,240 @@
+package rcp
+
+import (
+	"math"
+
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+)
+
+// Statistic addresses of the collect-phase program.
+var (
+	addrSwitchID = mem.SwitchBase + mem.SwitchID
+	addrQueue    = mem.PortBase + mem.PortQueueSize
+	addrRXUtil   = mem.PortBase + mem.PortRXUtil
+	addrRateReg  = mem.PortBase + mem.PortScratchBase // Link:RCP-RateRegister
+	addrCapacity = mem.PortBase + mem.PortCapacity
+)
+
+// collectStats is the paper's phase-1 program, verbatim:
+//
+//	PUSH [Switch:SwitchID]
+//	PUSH [Link:QueueSize]
+//	PUSH [Link:RX-Utilization]
+//	PUSH [Link:RCP-RateRegister]
+var collectStats = []mem.Addr{addrSwitchID, addrQueue, addrRXUtil, addrRateReg}
+
+// collectWords is the per-hop record size of the collect probe.
+const collectWords = 4
+
+// MaxHops sizes probe packet memory; datacenter paths are "typically
+// 5-7" hops (§2.1).
+const MaxHops = 7
+
+// InitRateRegisters performs the control-plane initialization of §2.2
+// footnote 3: "a control plane program initializes each link's fair
+// share rate to its capacity."
+func InitRateRegisters(switches ...*asic.Switch) {
+	for _, sw := range switches {
+		for i := 0; i < sw.Ports(); i++ {
+			p := sw.Port(i)
+			if p.Wired() {
+				p.SetScratch(0, p.Channel().RateBytes())
+			}
+		}
+	}
+}
+
+// StarController is one flow's rate controller in RCP*: an entirely
+// end-host program that queries and modifies network state in the three
+// phases of §2.2 (collect, compute, update).
+type StarController struct {
+	sim    *netsim.Sim
+	host   *endhost.Host
+	prober *endhost.Prober
+	params Params
+
+	dstMAC core.MAC
+	dstIP  uint32
+
+	// Flow is the paced data flow whose rate this controller tunes.
+	Flow *PacedFlow
+
+	caps     []float64 // per-hop link capacity, discovered once
+	qAvg     []float64 // per-hop EWMA of sampled queue sizes
+	haveCaps bool
+
+	ticker *netsim.Ticker
+
+	// Telemetry for tests and experiments.
+	Collects uint64 // phase-1 echoes processed
+	Updates  uint64 // phase-3 TPPs sent
+	LastRate float64
+}
+
+// NewStarController builds the controller for one sender/receiver
+// pair.  The caller starts the flow and the control loop with Start.
+func NewStarController(sim *netsim.Sim, host *endhost.Host, prober *endhost.Prober,
+	dstMAC core.MAC, dstIP uint32, params Params) *StarController {
+	return &StarController{
+		sim: sim, host: host, prober: prober, params: params,
+		dstMAC: dstMAC, dstIP: dstIP,
+		Flow: NewPacedFlow(sim, host, dstMAC, dstIP, StarDataPort, false),
+	}
+}
+
+// Start launches the periodic controller.  The data flow starts as soon
+// as the first collect echo reveals the current fair-share rate, so a
+// new flow "converges quickly to its fair share" instead of probing
+// from zero.
+func (c *StarController) Start() {
+	c.ticker = c.sim.Every(c.sim.Now(), c.params.T, c.tick)
+}
+
+// Stop halts the control loop and the flow (e.g. when a finite flow
+// completes).
+func (c *StarController) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+	c.Flow.Stop()
+	c.prober.Forget()
+}
+
+func (c *StarController) tick() {
+	if !c.haveCaps {
+		c.probeCapacities()
+		return
+	}
+	c.probeCollect()
+}
+
+// probeCapacities runs the one-time discovery of per-hop capacities
+// (link capacities are static, so they need not burden the steady-state
+// probe, keeping it within the 5-instruction device limit).
+func (c *StarController) probeCapacities() {
+	tpp, err := endhost.CollectProgram([]mem.Addr{addrSwitchID, addrCapacity}, MaxHops, 5)
+	if err != nil {
+		panic(err)
+	}
+	c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+		if c.haveCaps {
+			return
+		}
+		hops := int(e.Ptr) / 4 / 2
+		c.caps = c.caps[:0]
+		for i := 0; i < hops; i++ {
+			c.caps = append(c.caps, float64(e.Word(i*2+1)))
+		}
+		c.qAvg = make([]float64, hops)
+		c.haveCaps = len(c.caps) > 0
+	})
+}
+
+// probeCollect is phase 1; the echo handler runs phases 2 and 3.
+func (c *StarController) probeCollect() {
+	tpp, err := endhost.CollectProgram(collectStats, MaxHops, 5)
+	if err != nil {
+		panic(err)
+	}
+	c.prober.Probe(c.dstMAC, c.dstIP, tpp, c.onCollect)
+}
+
+// hopSample is one hop's record from a collect echo.
+type hopSample struct {
+	SwitchID uint32
+	Queue    float64
+	Util     float64
+	RateReg  float64
+}
+
+func parseCollect(e *core.TPP) []hopSample {
+	hops := int(e.Ptr) / 4 / collectWords
+	out := make([]hopSample, 0, hops)
+	for i := 0; i < hops; i++ {
+		base := i * collectWords
+		out = append(out, hopSample{
+			SwitchID: e.Word(base),
+			Queue:    float64(e.Word(base + 1)),
+			Util:     float64(e.Word(base + 2)),
+			RateReg:  float64(e.Word(base + 3)),
+		})
+	}
+	return out
+}
+
+// onCollect implements phases 2 (compute) and 3 (update) of §2.2.
+func (c *StarController) onCollect(e *core.TPP) {
+	samples := parseCollect(e)
+	if len(samples) == 0 || len(samples) > len(c.caps) {
+		return
+	}
+	c.Collects++
+
+	// Phase 2: compute R_link for every hop from the collected
+	// samples; the flow's rate is the minimum fair share read from
+	// the registers, and the bottleneck is the link with the smallest
+	// computed R_link.
+	minReg := math.Inf(1)
+	minR := math.Inf(1)
+	bottleneck := -1
+	var bottleneckRate float64
+	for i, s := range samples {
+		c.qAvg[i] = 0.5*s.Queue + 0.5*c.qAvg[i]
+		r := c.params.Update(s.RateReg, s.Util, c.qAvg[i], c.caps[i])
+		if r < minR {
+			minR = r
+			bottleneck = i
+			bottleneckRate = r
+		}
+		if s.RateReg < minReg {
+			minReg = s.RateReg
+		}
+	}
+
+	// Phase 3: install the new fair-share rate on the bottleneck
+	// switch only, via CEXEC + STORE.  "The end-host need not know
+	// the actual route to reach the bottleneck switch link": the TPP
+	// follows the flow's path and executes only where the switch id
+	// matches.
+	c.sendUpdate(samples[bottleneck].SwitchID, bottleneckRate)
+
+	// Adopt the fair share read from the registers.
+	if !math.IsInf(minReg, 1) && minReg > 0 {
+		c.LastRate = minReg
+		c.Flow.SetRate(minReg)
+		if !c.Flow.Running() {
+			c.Flow.Start()
+		}
+	}
+}
+
+// sendUpdate emits the phase-3 TPP:
+//
+//	CEXEC [Switch:SwitchID], 0xFFFFFFFF, $BottleneckSwitchID
+//	STORE [Link:RCP-RateRegister], [PacketMemory:2]
+func (c *StarController) sendUpdate(switchID uint32, rate float64) {
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: uint16(addrSwitchID), B: 0},
+		{Op: core.OpSTORE, A: uint16(addrRateReg), B: 2},
+	}, 3)
+	tpp.SetWord(0, 0xFFFFFFFF) // mask
+	tpp.SetWord(1, switchID)   // value
+	tpp.SetWord(2, uint32(math.Min(rate, float64(^uint32(0)))))
+	tpp.Ptr = 12 // packet memory is fully pre-initialized
+
+	// Fire and forget: the update needs no echo, and a lost update is
+	// retried next interval anyway.
+	pkt := &core.Packet{
+		Eth: core.Ethernet{Dst: c.dstMAC, Src: c.host.MAC, Type: core.EtherTypeTPP},
+		TPP: tpp,
+		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
+			Src: c.host.IP, Dst: c.dstIP},
+		UDP: &core.UDP{SrcPort: StarDataPort, DstPort: StarDataPort},
+	}
+	c.host.Send(pkt)
+	c.Updates++
+}

@@ -1,0 +1,119 @@
+// Package stats provides the small statistical utilities the
+// experiment harnesses share: streaming mean/variance (Welford) and a
+// sampling histogram with quantile queries, used for the per-hop
+// queueing-latency breakdowns of §2.1 ("a detailed breakdown of
+// queueing latencies on all network hops").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min and Max return the extremes (0 with no observations).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation.
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram collects samples for quantile queries.  It keeps the raw
+// samples (experiments are bounded), sorting lazily.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear
+// interpolation; it panics on an out-of-range q and returns 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	pos := q * float64(len(h.samples)-1)
+	lo := int(pos)
+	if lo == len(h.samples)-1 {
+		return h.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[lo+1]*frac
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range h.samples {
+		sum += x
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Summary formats N, mean, p50, p99 and max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Quantile(1))
+}

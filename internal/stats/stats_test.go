@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*5 + 10
+		w.Add(xs[i])
+	}
+	// Direct mean/variance.
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	variance := ss / float64(len(xs)-1)
+
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v vs %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-variance) > 1e-6 {
+		t.Fatalf("var %v vs %v", w.Var(), variance)
+	}
+	if w.Min() != mn || w.Max() != mx {
+		t.Fatal("min/max wrong")
+	}
+	if w.N() != 1000 || w.Std() <= 0 {
+		t.Fatal("N/Std wrong")
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Var() != 0 || w.Min() != 7 || w.Max() != 7 {
+		t.Fatal("single observation wrong")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 0.5: 50.5, 1: 100}
+	for q, want := range cases {
+		if got := h.Quantile(q); math.Abs(got-want) > 0.01 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHistogramInterleavedAddQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Quantile(0.5)
+	h.Add(0) // must re-sort after a post-query Add
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v after interleaved add", got)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range quantile did not panic")
+		}
+	}()
+	h.Add(1)
+	h.Quantile(1.5)
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64, qa, qb float64) bool {
+		qa = math.Abs(qa)
+		qb = math.Abs(qb)
+		qa -= math.Floor(qa)
+		qb -= math.Floor(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		r := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 50; i++ {
+			h.Add(r.Float64() * 100)
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(2)
+	s := h.Summary()
+	for _, want := range []string{"n=2", "mean=1.5", "p50=", "p99=", "max=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package tcam implements the flexible ternary match table of the
+// switch pipeline (§3.1) used by the SDN flow tables of the ndb
+// experiment (§2.3).
+//
+// Every entry carries a unique id and a version number: "ndb works
+// by ... stamping each flow entry with a unique version number", which
+// TPPs read back through PacketMetadata:MatchedEntryID and
+// :MatchedEntryVersion.  The table as a whole has a version that bumps
+// on every mutation and is exposed as Switch:FlowTableVersion.
+package tcam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeyWords is the width of the match vector.
+const KeyWords = 4
+
+// Match-vector word indexes.
+const (
+	KeyDstIP  = 0
+	KeySrcIP  = 1
+	KeyProto  = 2
+	KeyInPort = 3
+)
+
+// Key is the parsed packet fields presented to the TCAM.
+type Key [KeyWords]uint32
+
+// Action is what happens to a matching packet.
+type Action struct {
+	// Drop discards the packet when set.
+	Drop bool
+	// OutPort is the egress port when Drop is false.
+	OutPort int
+}
+
+// Entry is one ternary rule: the packet matches when
+// key & Mask == Value & Mask for every word.  Higher Priority wins;
+// ties break toward the lower ID, deterministically.
+type Entry struct {
+	ID       uint32
+	Version  uint32
+	Priority int
+	Value    Key
+	Mask     Key
+	Action   Action
+}
+
+// Matches reports whether the entry covers key.
+func (e *Entry) Matches(key Key) bool {
+	for i := 0; i < KeyWords; i++ {
+		if key[i]&e.Mask[i] != e.Value[i]&e.Mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a ternary match table.
+type Table struct {
+	entries map[uint32]*Entry
+	// ordered caches entries sorted by (priority desc, id asc); nil
+	// when invalidated by a mutation.
+	ordered []*Entry
+	version uint32
+	nextID  uint32
+}
+
+// New builds an empty TCAM.
+func New() *Table {
+	return &Table{entries: make(map[uint32]*Entry), nextID: 1}
+}
+
+// Version returns the table version, bumped on every mutation.
+func (t *Table) Version() uint32 { return t.version }
+
+// Size returns the number of installed entries.
+func (t *Table) Size() int { return len(t.entries) }
+
+// Insert installs a new rule and returns its assigned id.  The entry's
+// version starts at 1.
+func (t *Table) Insert(priority int, value, mask Key, action Action) uint32 {
+	id := t.nextID
+	t.nextID++
+	t.version++
+	t.entries[id] = &Entry{
+		ID: id, Version: 1, Priority: priority,
+		Value: value, Mask: mask, Action: action,
+	}
+	t.ordered = nil
+	return id
+}
+
+// Update replaces the action of rule id, bumping both the entry version
+// and the table version — the mechanism ndb uses to detect stale
+// hardware state.
+func (t *Table) Update(id uint32, action Action) error {
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("tcam: no entry %d", id)
+	}
+	e.Action = action
+	e.Version++
+	t.version++
+	return nil
+}
+
+// Remove deletes rule id.
+func (t *Table) Remove(id uint32) error {
+	if _, ok := t.entries[id]; !ok {
+		return fmt.Errorf("tcam: no entry %d", id)
+	}
+	delete(t.entries, id)
+	t.version++
+	t.ordered = nil
+	return nil
+}
+
+// Get returns a copy of rule id.
+func (t *Table) Get(id uint32) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns copies of all rules in match order.
+func (t *Table) Entries() []Entry {
+	t.sortEntries()
+	out := make([]Entry, len(t.ordered))
+	for i, e := range t.ordered {
+		out[i] = *e
+	}
+	return out
+}
+
+// Match finds the highest-priority rule covering key.
+func (t *Table) Match(key Key) (Entry, bool) {
+	t.sortEntries()
+	for _, e := range t.ordered {
+		if e.Matches(key) {
+			return *e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// MatchCount returns how many installed rules cover key — the number
+// of forwarding alternatives the dataplane knows for the packet, which
+// Table 2 exposes as PacketMetadata:AlternateRoutes.
+func (t *Table) MatchCount(key Key) int {
+	t.sortEntries()
+	n := 0
+	for _, e := range t.ordered {
+		if e.Matches(key) {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Table) sortEntries() {
+	if t.ordered != nil {
+		return
+	}
+	t.ordered = make([]*Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		t.ordered = append(t.ordered, e)
+	}
+	sort.Slice(t.ordered, func(i, j int) bool {
+		if t.ordered[i].Priority != t.ordered[j].Priority {
+			return t.ordered[i].Priority > t.ordered[j].Priority
+		}
+		return t.ordered[i].ID < t.ordered[j].ID
+	})
+}
+
+// ExactMask is the mask selecting one word entirely.
+const ExactMask = ^uint32(0)
+
+// DstIPRule builds a (value, mask) pair matching an exact destination
+// address — the common rule shape in the ndb experiment.
+func DstIPRule(dst uint32) (Key, Key) {
+	var v, m Key
+	v[KeyDstIP] = dst
+	m[KeyDstIP] = ExactMask
+	return v, m
+}

@@ -1,0 +1,219 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInsertMatch(t *testing.T) {
+	tbl := New()
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 2))
+	id := tbl.Insert(10, v, m, Action{OutPort: 3})
+
+	var key Key
+	key[KeyDstIP] = core.IPv4Addr(10, 0, 0, 2)
+	e, ok := tbl.Match(key)
+	if !ok || e.ID != id || e.Action.OutPort != 3 {
+		t.Fatalf("Match = %+v, %v", e, ok)
+	}
+	key[KeyDstIP]++
+	if _, ok := tbl.Match(key); ok {
+		t.Fatal("exact rule overmatched")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	tbl := New()
+	var any Key
+	lo := tbl.Insert(1, any, any, Action{OutPort: 1}) // wildcard, low prio
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 2))
+	hi := tbl.Insert(10, v, m, Action{OutPort: 2})
+
+	var key Key
+	key[KeyDstIP] = core.IPv4Addr(10, 0, 0, 2)
+	if e, _ := tbl.Match(key); e.ID != hi {
+		t.Fatalf("high-priority rule lost: matched %d", e.ID)
+	}
+	key[KeyDstIP] = core.IPv4Addr(99, 0, 0, 1)
+	if e, _ := tbl.Match(key); e.ID != lo {
+		t.Fatalf("wildcard fallback broken: matched %d", e.ID)
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	tbl := New()
+	var any Key
+	first := tbl.Insert(5, any, any, Action{OutPort: 1})
+	tbl.Insert(5, any, any, Action{OutPort: 2})
+	if e, _ := tbl.Match(Key{}); e.ID != first {
+		t.Fatalf("tie must break toward lower id, matched %d", e.ID)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	tbl := New()
+	if tbl.Version() != 0 {
+		t.Fatal("fresh table version not 0")
+	}
+	var any Key
+	id := tbl.Insert(1, any, any, Action{OutPort: 1})
+	if tbl.Version() != 1 {
+		t.Fatalf("version after insert = %d", tbl.Version())
+	}
+	e, _ := tbl.Get(id)
+	if e.Version != 1 {
+		t.Fatalf("entry version = %d", e.Version)
+	}
+	if err := tbl.Update(id, Action{OutPort: 5}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = tbl.Get(id)
+	if e.Version != 2 || e.Action.OutPort != 5 {
+		t.Fatalf("after update: %+v", e)
+	}
+	if tbl.Version() != 2 {
+		t.Fatalf("table version after update = %d", tbl.Version())
+	}
+	if err := tbl.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version() != 3 || tbl.Size() != 0 {
+		t.Fatalf("after remove: v=%d size=%d", tbl.Version(), tbl.Size())
+	}
+}
+
+func TestUpdateRemoveUnknown(t *testing.T) {
+	tbl := New()
+	if err := tbl.Update(99, Action{}); err == nil {
+		t.Fatal("Update of unknown id succeeded")
+	}
+	if err := tbl.Remove(99); err == nil {
+		t.Fatal("Remove of unknown id succeeded")
+	}
+	if _, ok := tbl.Get(99); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+}
+
+func TestMaskedMatch(t *testing.T) {
+	tbl := New()
+	// Match any destination in 10.0.0.0/8 arriving on port 2.
+	var v, m Key
+	v[KeyDstIP] = core.IPv4Addr(10, 0, 0, 0)
+	m[KeyDstIP] = 0xFF000000
+	v[KeyInPort] = 2
+	m[KeyInPort] = ExactMask
+	tbl.Insert(1, v, m, Action{OutPort: 7})
+
+	key := Key{KeyDstIP: core.IPv4Addr(10, 200, 3, 4), KeyInPort: 2}
+	if _, ok := tbl.Match(key); !ok {
+		t.Fatal("masked match missed")
+	}
+	key[KeyInPort] = 3
+	if _, ok := tbl.Match(key); ok {
+		t.Fatal("in-port mismatch matched")
+	}
+}
+
+func TestDropAction(t *testing.T) {
+	tbl := New()
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 66))
+	tbl.Insert(100, v, m, Action{Drop: true})
+	e, ok := tbl.Match(Key{KeyDstIP: core.IPv4Addr(10, 0, 0, 66)})
+	if !ok || !e.Action.Drop {
+		t.Fatal("drop rule not matched")
+	}
+}
+
+func TestEntriesOrdered(t *testing.T) {
+	tbl := New()
+	var any Key
+	tbl.Insert(1, any, any, Action{})
+	tbl.Insert(9, any, any, Action{})
+	tbl.Insert(5, any, any, Action{})
+	es := tbl.Entries()
+	if len(es) != 3 || es[0].Priority != 9 || es[1].Priority != 5 || es[2].Priority != 1 {
+		t.Fatalf("Entries order: %+v", es)
+	}
+}
+
+// naiveMatch is the reference implementation for the property test.
+func naiveMatch(entries []Entry, key Key) (Entry, bool) {
+	best := -1
+	var out Entry
+	for _, e := range entries {
+		if !e.Matches(key) {
+			continue
+		}
+		if e.Priority > best || (e.Priority == best && e.ID < out.ID) {
+			best = e.Priority
+			out = e
+		}
+	}
+	return out, best >= 0
+}
+
+// Property: Match agrees with the naive full-scan reference across
+// random rule sets, including after updates and removals.
+func TestMatchAgainstNaiveReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		tbl := New()
+		for i := 0; i < 60; i++ {
+			var v, m Key
+			for w := 0; w < KeyWords; w++ {
+				// Small value domain so rules overlap often.
+				v[w] = uint32(r.Intn(4))
+				m[w] = [3]uint32{0, 0x3, ExactMask}[r.Intn(3)]
+			}
+			tbl.Insert(r.Intn(8), v, m, Action{OutPort: r.Intn(16)})
+		}
+		// Mutate some entries.
+		for _, e := range tbl.Entries() {
+			switch r.Intn(4) {
+			case 0:
+				if err := tbl.Remove(e.ID); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := tbl.Update(e.ID, Action{OutPort: r.Intn(16)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ref := tbl.Entries()
+		for i := 0; i < 500; i++ {
+			var key Key
+			for w := 0; w < KeyWords; w++ {
+				key[w] = uint32(r.Intn(4))
+			}
+			got, gok := tbl.Match(key)
+			want, wok := naiveMatch(ref, key)
+			if gok != wok || (gok && got.ID != want.ID) {
+				t.Fatalf("Match(%v) = %+v,%v; naive %+v,%v", key, got, gok, want, wok)
+			}
+		}
+	}
+}
+
+func TestMatchCount(t *testing.T) {
+	tbl := New()
+	var any Key
+	tbl.Insert(1, any, any, Action{OutPort: 1}) // wildcard covers all
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 2))
+	tbl.Insert(10, v, m, Action{OutPort: 2})
+
+	key := Key{KeyDstIP: core.IPv4Addr(10, 0, 0, 2)}
+	if got := tbl.MatchCount(key); got != 2 {
+		t.Fatalf("MatchCount = %d, want 2", got)
+	}
+	key[KeyDstIP]++
+	if got := tbl.MatchCount(key); got != 1 {
+		t.Fatalf("MatchCount = %d, want 1 (wildcard only)", got)
+	}
+	if got := New().MatchCount(key); got != 0 {
+		t.Fatalf("empty table MatchCount = %d", got)
+	}
+}

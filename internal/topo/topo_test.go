@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/netsim"
+)
+
+func TestMbps(t *testing.T) {
+	spec := Mbps(10, 5*netsim.Millisecond)
+	if spec.RateBps != 10_000_000 || spec.Delay != 5*netsim.Millisecond {
+		t.Fatalf("Mbps = %+v", spec)
+	}
+}
+
+func TestAutoIDsAndAddressing(t *testing.T) {
+	sim := netsim.New(1)
+	n := NewNetwork(sim)
+	s1 := n.AddSwitch(asic.Config{})
+	s2 := n.AddSwitch(asic.Config{})
+	if s1.ID() != 1 || s2.ID() != 2 {
+		t.Fatalf("switch ids: %d, %d", s1.ID(), s2.ID())
+	}
+	h1 := n.AddHost()
+	h2 := n.AddHost()
+	if h1.MAC == h2.MAC || h1.IP == h2.IP {
+		t.Fatal("hosts share addresses")
+	}
+}
+
+func TestPortAllocation(t *testing.T) {
+	sim := netsim.New(1)
+	n := NewNetwork(sim)
+	a := n.AddSwitch(asic.Config{Ports: 3})
+	b := n.AddSwitch(asic.Config{Ports: 3})
+	ap, bp := n.LinkSwitches(a, b, Mbps(10, 0))
+	if ap != 0 || bp != 0 {
+		t.Fatalf("first link ports: %d, %d", ap, bp)
+	}
+	h := n.AddHost()
+	hp := n.LinkHost(h, a, Mbps(10, 0))
+	if hp != 1 {
+		t.Fatalf("host port = %d", hp)
+	}
+	att := n.AttachmentOf(h)
+	if att.Switch != a || att.Port != 1 {
+		t.Fatalf("attachment = %+v", att)
+	}
+	// Exhaust a's ports: one more link fits, the next panics.
+	n.LinkHost(n.AddHost(), a, Mbps(10, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("port exhaustion did not panic")
+		}
+	}()
+	n.LinkHost(n.AddHost(), a, Mbps(10, 0))
+}
+
+func TestLineConnectivity(t *testing.T) {
+	sim := netsim.New(1)
+	n, src, dst, sws := Line(sim, 4, Mbps(100, 0), Mbps(100, 0), asic.Config{})
+	if len(sws) != 4 || len(n.Hosts) != 2 {
+		t.Fatalf("line shape: %d switches, %d hosts", len(sws), len(n.Hosts))
+	}
+	n.PrimeL2(netsim.Millisecond)
+	src.Send(src.NewPacket(dst.MAC, dst.IP, 1, 2, 10))
+	sim.RunUntil(sim.Now() + 100*netsim.Millisecond)
+	if dst.Received < 2 { // broadcast + data
+		t.Fatalf("dst received %d", dst.Received)
+	}
+}
+
+func TestStarConnectivity(t *testing.T) {
+	sim := netsim.New(1)
+	n, hosts, sw := Star(sim, 5, Mbps(100, 0), asic.Config{Ports: 8})
+	if len(hosts) != 5 || sw == nil {
+		t.Fatal("star shape wrong")
+	}
+	n.PrimeL2(netsim.Millisecond)
+	hosts[0].Send(hosts[0].NewPacket(hosts[4].MAC, hosts[4].IP, 1, 2, 10))
+	sim.RunUntil(sim.Now() + 50*netsim.Millisecond)
+	if hosts[4].Received < 5 { // 4 broadcasts + data
+		t.Fatalf("received %d", hosts[4].Received)
+	}
+}
+
+func TestDumbbellShape(t *testing.T) {
+	sim := netsim.New(1)
+	n, senders, receivers, a, b := Dumbbell(sim, 3, Mbps(100, 0), Mbps(10, 0), asic.Config{})
+	if len(senders) != 3 || len(receivers) != 3 {
+		t.Fatal("dumbbell hosts wrong")
+	}
+	for _, s := range senders {
+		if n.AttachmentOf(s).Switch != a {
+			t.Fatal("sender on wrong side")
+		}
+	}
+	for _, r := range receivers {
+		if n.AttachmentOf(r).Switch != b {
+			t.Fatal("receiver on wrong side")
+		}
+	}
+	n.PrimeL2(netsim.Millisecond)
+	senders[0].Send(senders[0].NewPacket(receivers[0].MAC, receivers[0].IP, 1, 2, 10))
+	sim.RunUntil(sim.Now() + 100*netsim.Millisecond)
+	if receivers[0].Received == 0 {
+		t.Fatal("no cross-bottleneck delivery")
+	}
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	sim := netsim.New(1)
+	n, hosts, leaves, spines := LeafSpine(sim, 2, 2, 2, Mbps(100, 0), Mbps(100, 0), asic.Config{})
+	if len(leaves) != 2 || len(spines) != 2 {
+		t.Fatal("fabric shape wrong")
+	}
+	if len(hosts) != 2 || len(hosts[0]) != 2 {
+		t.Fatal("host grid wrong")
+	}
+	// Hosts hang off leaves; leaf ports 0..spines-1 go to spines.
+	if n.AttachmentOf(hosts[0][0]).Switch != leaves[0] {
+		t.Fatal("host not on its leaf")
+	}
+	if n.AttachmentOf(hosts[0][0]).Port < 2 {
+		t.Fatal("host port overlaps spine uplinks")
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace provides the small result-recording utilities the
+// experiment harnesses share: CSV series emission and aligned text
+// tables, so every figure and table of the paper can be regenerated as
+// machine-readable rows.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV writes rows of values as comma-separated lines.  Values are
+// formatted with %v; floats keep full precision via %g.
+type CSV struct {
+	w   io.Writer
+	err error
+}
+
+// NewCSV starts a CSV stream with the given header columns.
+func NewCSV(w io.Writer, header ...string) *CSV {
+	c := &CSV{w: w}
+	if len(header) > 0 {
+		c.writeLine(header)
+	}
+	return c
+}
+
+// Row appends one row.
+func (c *CSV) Row(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	c.writeLine(cells)
+}
+
+// Err returns the first write error, if any.
+func (c *CSV) Err() error { return c.err }
+
+func (c *CSV) writeLine(cells []string) {
+	if c.err != nil {
+		return
+	}
+	for i, cell := range cells {
+		if strings.ContainsAny(cell, ",\"\n") {
+			cells[i] = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+	}
+	_, c.err = fmt.Fprintln(c.w, strings.Join(cells, ","))
+}
+
+// Table renders aligned text tables for terminal reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given columns.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends one row; values are formatted with %v.
+func (t *Table) Row(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+		n, err := io.WriteString(w, b.String())
+		total += int64(n)
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return total, err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return total, err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}

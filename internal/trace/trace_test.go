@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	c := NewCSV(&b, "t", "r_over_c", "note")
+	c.Row(0.1, 1.0, "plain")
+	c.Row(0.2, 0.5, `has,comma and "quote"`)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "t,r_over_c,note" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "0.1,1,plain" {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if lines[2] != `0.2,0.5,"has,comma and ""quote"""` {
+		t.Fatalf("row 2: %q", lines[2])
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	var b strings.Builder
+	c := NewCSV(&b)
+	c.Row(1, 2)
+	if got := strings.TrimSpace(b.String()); got != "1,2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("short", 1)
+	tb.Row("a-much-longer-name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// The value column starts at the same offset in every row.
+	idx := strings.Index(lines[2], "1")
+	if idx < 0 || !strings.Contains(lines[3][idx:], "123456") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("x")
+	tb.Row(0.333333333)
+	if !strings.Contains(tb.String(), "0.3333") {
+		t.Fatalf("float formatting: %s", tb.String())
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "injected write failure" }
+
+func TestCSVWriteErrorSticky(t *testing.T) {
+	c := NewCSV(&failWriter{n: 1}, "a")
+	c.Row(1)
+	c.Row(2)
+	if c.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+func TestTableWriteError(t *testing.T) {
+	tb := NewTable("x")
+	tb.Row(1)
+	if _, err := tb.WriteTo(&failWriter{}); err == nil {
+		t.Fatal("header write error not surfaced")
+	}
+	if _, err := tb.WriteTo(&failWriter{n: 1}); err == nil {
+		t.Fatal("separator write error not surfaced")
+	}
+	if _, err := tb.WriteTo(&failWriter{n: 2}); err == nil {
+		t.Fatal("row write error not surfaced")
+	}
+}
