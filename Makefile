@@ -1,0 +1,43 @@
+# Reproduction of "Tiny Packet Programs for low-latency network
+# control and monitoring" (HotNets 2013) on a simulated substrate.
+
+GO        ?= go
+BENCH     ?= .
+BENCHTIME ?= 1x
+
+.PHONY: all build vet test race check bench bench-json experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: vet, build, and the full test suite under
+# the race detector.
+check: vet build race
+
+# bench runs every benchmark once (BENCHTIME=1x) as a smoke test; set
+# BENCHTIME=2s BENCH=PipelineTelemetry for real measurements.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) .
+
+# bench-json emits the same run in `go test -json` form for tooling.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -json .
+
+# experiments regenerates every paper artifact with telemetry enabled.
+experiments:
+	mkdir -p out
+	$(GO) run ./cmd/experiments -out out -metrics out/metrics.jsonl -trace out/spans.jsonl all
+
+clean:
+	rm -rf out

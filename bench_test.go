@@ -16,6 +16,7 @@ import (
 	"repro/internal/microburst"
 	"repro/internal/ndb"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rcp"
 	"repro/internal/tcpu"
 	"repro/internal/topo"
@@ -270,6 +271,44 @@ func BenchmarkNdb(b *testing.B) {
 			b.Fatal("unexpected violations")
 		}
 	}
+}
+
+// BenchmarkPipelineTelemetry measures the per-packet cost of the
+// telemetry subsystem: a TPP-instrumented packet through one switch
+// with metrics+tracing disabled (nil handles, the zero-cost contract —
+// TestTelemetryDisabledNoExtraAllocs pins the exact allocation count)
+// and enabled (atomic counters, histogram observes, span records, and
+// per-instruction TCPU spans).
+func BenchmarkPipelineTelemetry(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry, tr *obs.Tracer) {
+		sim := netsim.New(1)
+		n := topo.NewNetwork(sim)
+		sw := n.AddSwitch(asic.Config{Ports: 4, Metrics: reg, Trace: tr})
+		_ = sw
+		h1, h2 := n.AddHost(), n.AddHost()
+		h1.NIC.SetCapacity(1 << 20)
+		n.LinkHost(h1, sw, topo.Mbps(10_000, 0))
+		n.LinkHost(h2, sw, topo.Mbps(10_000, 0))
+		n.PrimeL2(netsim.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt := h1.NewPacket(h2.MAC, h2.IP, 1, 2, 58)
+			microburst.Instrument(pkt, 4)
+			h1.Send(pkt)
+			if i%1024 == 0 {
+				sim.RunUntil(sim.Now() + netsim.Millisecond)
+			}
+		}
+		sim.RunUntil(sim.Now() + netsim.Second)
+		if h2.Received == 0 {
+			b.Fatal("nothing forwarded")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, obs.NewRegistry(), obs.NewTracer(1<<20))
+	})
 }
 
 // --- Ablations (DESIGN.md §5) ---

@@ -67,7 +67,9 @@ func runFig2(out *output) error {
 	out.printf("Figure 2: R(t)/C on a 10 Mb/s bottleneck, flows start at t=0,10,20s (α=0.5, β=1)\n\n")
 	results := map[rcp.Variant]rcp.Fig2Result{}
 	for _, v := range []rcp.Variant{rcp.VariantStar, rcp.VariantBaseline} {
-		res := rcp.RunFigure2(rcp.DefaultFig2Config(v))
+		cfg := rcp.DefaultFig2Config(v)
+		cfg.Metrics = out.metrics
+		res := rcp.RunFigure2(cfg)
 		results[v] = res
 		if f, err := out.csvFile(fmt.Sprintf("fig2_%s.csv", v)); err != nil {
 			return err

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-out DIR] <experiment>
+//	experiments [-out DIR] [-metrics FILE] [-trace FILE] <experiment>
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 microburst ndb
 // wireless all
+//
+// -metrics and -trace enable the telemetry subsystem (internal/obs) for
+// the experiments that support it (microburst, ndb, fig2): the final
+// metrics snapshot and the packet-lifecycle span log are written as
+// JSONL to the given files ("-" for stdout).
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // experiment is one reproducible artifact.
@@ -44,10 +51,20 @@ var experiments = []experiment{
 }
 
 func main() {
-	outDir := ""
+	outDir, metricsPath, tracePath := "", "", ""
 	args := os.Args[1:]
-	if len(args) >= 2 && args[0] == "-out" {
-		outDir = args[1]
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-out":
+			outDir = args[1]
+		case "-metrics":
+			metricsPath = args[1]
+		case "-trace":
+			tracePath = args[1]
+		default:
+			usage()
+			os.Exit(2)
+		}
 		args = args[2:]
 	}
 	if len(args) != 1 {
@@ -57,32 +74,78 @@ func main() {
 	name := args[0]
 
 	out := &output{dir: outDir, w: os.Stdout}
+	if metricsPath != "" {
+		out.metrics = obs.NewRegistry()
+	}
+	if tracePath != "" {
+		out.tracer = obs.NewTracer(0)
+	}
+	runOne := func(e experiment) {
+		if err := e.run(out); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+	}
+	found := false
 	if name == "all" {
 		for _, e := range experiments {
 			fmt.Printf("== %s: %s ==\n", e.name, e.about)
-			if err := e.run(out); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
-				os.Exit(1)
-			}
+			runOne(e)
 			fmt.Println()
 		}
-		return
-	}
-	for _, e := range experiments {
-		if e.name == name {
-			if err := e.run(out); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+		found = true
+	} else {
+		for _, e := range experiments {
+			if e.name == name {
+				runOne(e)
+				found = true
+				break
 			}
-			return
 		}
 	}
-	usage()
-	os.Exit(2)
+	if !found {
+		usage()
+		os.Exit(2)
+	}
+	if err := dumpTelemetry(out, metricsPath, tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// dumpTelemetry writes the accumulated metrics snapshot and span log as
+// JSONL to the -metrics/-trace destinations.
+func dumpTelemetry(out *output, metricsPath, tracePath string) error {
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "-" {
+			return emit(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if out.metrics != nil {
+		snap := out.metrics.Snapshot(0)
+		if err := write(metricsPath, snap.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if out.tracer != nil {
+		if err := write(tracePath, out.tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-out DIR] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-out DIR] [-metrics FILE] [-trace FILE] <experiment>")
 	names := make([]string, 0, len(experiments)+1)
 	for _, e := range experiments {
 		names = append(names, fmt.Sprintf("  %-11s %s", e.name, e.about))
@@ -94,10 +157,13 @@ func usage() {
 	}
 }
 
-// output bundles the terminal stream and the optional CSV directory.
+// output bundles the terminal stream, the optional CSV directory, and
+// the optional telemetry sinks experiments thread into their runs.
 type output struct {
-	dir string
-	w   io.Writer
+	dir     string
+	w       io.Writer
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 func (o *output) printf(format string, args ...any) {

@@ -16,7 +16,9 @@ import (
 // runMicroburst reproduces the §2.1 comparison: per-packet TPP
 // telemetry vs SNMP-style polling against an 8-to-1 incast.
 func runMicroburst(out *output) error {
-	res := microburst.Run(microburst.DefaultConfig())
+	cfg := microburst.DefaultConfig()
+	cfg.Metrics, cfg.Trace = out.metrics, out.tracer
+	res := microburst.Run(cfg)
 
 	out.printf("§2.1 micro-burst detection: 8-to-1 incast, %d bursts of %d bytes every %v\n\n",
 		res.BurstsGenerated, res.Config.BurstBytes*res.Config.Senders, res.Config.Period)
@@ -57,7 +59,9 @@ func runMicroburst(out *output) error {
 // against controller intent and catch an injected stale rule, at zero
 // extra packets versus the copy-based baseline.
 func runNdb(out *output) error {
-	res := ndb.Run(ndb.DefaultConfig())
+	cfg := ndb.DefaultConfig()
+	cfg.Metrics, cfg.Trace = out.metrics, out.tracer
+	res := ndb.Run(cfg)
 
 	out.printf("§2.3 forwarding-plane debugger on a 2x2 leaf-spine\n\n")
 	tbl := trace.NewTable("phase", "traces", "violations")

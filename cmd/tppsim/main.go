@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	tppsim [-topo line|dumbbell] [-switches N] [-load] [file.tpp]
+//	tppsim [-topo line|dumbbell] [-switches N] [-load] [-metrics FILE] [-trace FILE] [file.tpp]
 //
 // The program is read from file.tpp (or stdin).  With -load, a
 // 20-packet burst is queued ahead of the probe so queue statistics are
-// non-trivial.
+// non-trivial.  -metrics and -trace enable the telemetry subsystem
+// (internal/obs): a JSONL metrics snapshot and the packet-lifecycle
+// span log are written to the given files ("-" for stdout), and the
+// probe's reconstructed journey is printed.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/endhost"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rcp"
 	"repro/internal/topo"
 )
@@ -31,37 +35,76 @@ func main() {
 	topoName := flag.String("topo", "line", "topology: line or dumbbell")
 	switches := flag.Int("switches", 3, "switch count (line topology)")
 	load := flag.Bool("load", false, "queue a burst ahead of the probe")
+	metricsPath := flag.String("metrics", "", `write a JSONL metrics snapshot here ("-" for stdout)`)
+	tracePath := flag.String("trace", "", `write the packet-lifecycle span log here as JSONL ("-" for stdout)`)
 	flag.Parse()
 
 	src, err := readInput(flag.Args())
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*topoName, *switches, *load, src, os.Stdout); err != nil {
+	metricsW, closeMetrics, err := openOut(*metricsPath)
+	if err != nil {
+		fail(err)
+	}
+	defer closeMetrics()
+	traceW, closeTrace, err := openOut(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	defer closeTrace()
+	if err := run(*topoName, *switches, *load, src, os.Stdout, metricsW, traceW); err != nil {
 		fail(err)
 	}
 }
 
-// run executes the scenario; split out of main for testability.
-func run(topoName string, switches int, load bool, src string, w io.Writer) error {
+// openOut resolves an output flag: empty means disabled (nil writer),
+// "-" means stdout, anything else is created as a file.
+func openOut(path string) (io.Writer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, func() {}, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// run executes the scenario; split out of main for testability.  A nil
+// metricsW/traceW disables the corresponding telemetry half.
+func run(topoName string, switches int, load bool, src string, w, metricsW, traceW io.Writer) error {
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if metricsW != nil {
+		reg = obs.NewRegistry()
+	}
+	if traceW != nil {
+		tracer = obs.NewTracer(0)
+	}
+
 	sim := netsim.New(1)
 	edge := topo.Mbps(80, 10*netsim.Microsecond)
 	backbone := topo.Mbps(8, 10*netsim.Microsecond)
+	swCfg := asic.Config{Metrics: reg, Trace: tracer}
 
 	var n *topo.Network
 	var from, to *endhost.Host
 	switch topoName {
 	case "line":
-		n, from, to, _ = topo.Line(sim, switches, edge, backbone, asic.Config{})
+		n, from, to, _ = topo.Line(sim, switches, edge, backbone, swCfg)
 	case "dumbbell":
 		var senders, receivers []*endhost.Host
 		var a, b *asic.Switch
-		n, senders, receivers, a, b = topo.Dumbbell(sim, 2, edge, backbone, asic.Config{})
+		n, senders, receivers, a, b = topo.Dumbbell(sim, 2, edge, backbone, swCfg)
 		rcp.InitRateRegisters(a, b)
 		from, to = senders[0], receivers[0]
 	default:
@@ -97,6 +140,32 @@ func run(topoName string, switches int, load bool, src string, w io.Writer) erro
 	}
 	for i := 0; i < echoed.MemWords(); i++ {
 		fmt.Fprintf(w, "mem[%2d] = 0x%08x (%d)\n", i, echoed.Word(i), echoed.Word(i))
+	}
+
+	if tracer != nil {
+		// The probe is the only TPP-carrying packet, so the last TCPU
+		// span identifies it; reconstruct and print its full journey.
+		var probeUID uint64
+		for _, ev := range tracer.Events() {
+			if ev.Stage == obs.StageTCPU {
+				probeUID = ev.UID
+			}
+		}
+		if probeUID != 0 {
+			fmt.Fprintf(w, "\nprobe journey (uid %#x):\n", probeUID)
+			for _, ev := range tracer.Journey(probeUID) {
+				fmt.Fprintf(w, "  %9dns  node %-3d %-12s a=%d b=%d\n",
+					ev.At, ev.Node, ev.Stage, ev.A, ev.B)
+			}
+		}
+		if err := tracer.WriteJSONL(traceW); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		if err := reg.Snapshot(int64(sim.Now())).WriteJSONL(metricsW); err != nil {
+			return err
+		}
 	}
 	return nil
 }

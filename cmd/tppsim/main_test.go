@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ PUSH [Queue:QueueSize]
 
 func TestRunLineLoaded(t *testing.T) {
 	var b strings.Builder
-	if err := run("line", 3, true, probe, &b); err != nil {
+	if err := run("line", 3, true, probe, &b, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -36,7 +37,7 @@ func TestRunLineLoaded(t *testing.T) {
 
 func TestRunDumbbell(t *testing.T) {
 	var b strings.Builder
-	if err := run("dumbbell", 0, false, ".mem 4\nPUSH [Link:RCP-RateRegister]", &b); err != nil {
+	if err := run("dumbbell", 0, false, ".mem 4\nPUSH [Link:RCP-RateRegister]", &b, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// The dumbbell initializes rate registers to capacity; the probe
@@ -48,10 +49,99 @@ func TestRunDumbbell(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run("ring", 3, false, probe, &b); err == nil {
+	if err := run("ring", 3, false, probe, &b, nil, nil); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if err := run("line", 3, false, "NOT A PROGRAM", &b); err == nil {
+	if err := run("line", 3, false, "NOT A PROGRAM", &b, nil, nil); err == nil {
 		t.Error("bad program accepted")
+	}
+}
+
+// TestRunTelemetry is the acceptance scenario: a probe through a
+// 2-switch line with -trace and -metrics produces a reconstructable
+// per-hop span log (parser through scheduler, plus link events) and a
+// JSONL metrics snapshot carrying queue-depth and TCPU-cycle
+// histograms.
+func TestRunTelemetry(t *testing.T) {
+	var out, metrics, spans strings.Builder
+	if err := run("line", 2, true, probe, &out, &metrics, &spans); err != nil {
+		t.Fatal(err)
+	}
+
+	// The probe journey is printed, with both hops visible.
+	txt := out.String()
+	if !strings.Contains(txt, "probe journey") {
+		t.Fatalf("no journey printed:\n%s", txt)
+	}
+	journey := txt[strings.Index(txt, "probe journey"):]
+	for _, stage := range []string{"parser", "tcpu", "memmgr", "enqueue", "sched", "link-tx", "link-rx"} {
+		if strings.Count(journey, " "+stage+" ") < 2 {
+			t.Fatalf("journey misses stage %q at both hops:\n%s", stage, journey)
+		}
+	}
+
+	// The span log is JSONL: every line decodes, and the probe's
+	// events reconstruct an ordered per-hop record.
+	type spanLine struct {
+		At    int64  `json:"at_ns"`
+		UID   uint64 `json:"uid"`
+		Node  uint32 `json:"node"`
+		Stage string `json:"stage"`
+	}
+	var probeUID uint64
+	var events []spanLine
+	for _, line := range strings.Split(strings.TrimSpace(spans.String()), "\n") {
+		var ev spanLine
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		events = append(events, ev)
+		if ev.Stage == "tcpu" {
+			probeUID = ev.UID
+		}
+	}
+	if probeUID == 0 {
+		t.Fatal("no TCPU span in the log")
+	}
+	var hops []uint32
+	lastAt := int64(-1)
+	for _, ev := range events {
+		if ev.UID != probeUID {
+			continue
+		}
+		if ev.At < lastAt {
+			t.Fatalf("span log out of order at %+v", ev)
+		}
+		lastAt = ev.At
+		if ev.Stage == "parser" {
+			hops = append(hops, ev.Node)
+		}
+	}
+	if len(hops) != 2 || hops[0] == hops[1] {
+		t.Fatalf("probe crossed switches %v, want 2 distinct hops", hops)
+	}
+
+	// The metrics snapshot carries the two tentpole histograms with
+	// observations in them.
+	type metricLine struct {
+		Name  string `json:"name"`
+		Kind  string `json:"kind"`
+		Count uint64 `json:"count"`
+	}
+	found := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(metrics.String()), "\n") {
+		var m metricLine
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad metric line %q: %v", line, err)
+		}
+		if strings.HasSuffix(m.Name, "queue_depth_bytes") && m.Count > 0 {
+			found["queue_depth"] = true
+		}
+		if strings.HasSuffix(m.Name, "tcpu_cycles") && m.Count > 0 {
+			found["tcpu_cycles"] = true
+		}
+	}
+	if !found["queue_depth"] || !found["tcpu_cycles"] {
+		t.Fatalf("snapshot misses histograms (found %v):\n%s", found, metrics.String())
 	}
 }

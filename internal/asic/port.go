@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Port is one switch port: the egress side owns the queues and the
@@ -36,6 +37,12 @@ type Port struct {
 	// snr is the wireless channel SNR register in centi-dB, updated
 	// by access-point models (internal/wireless).
 	snr uint32
+
+	// Telemetry handles, resolved at construction (nil when metrics
+	// are disabled — recording through them is then a no-op).
+	mQueueDepth *obs.Histogram // occupancy in bytes after each enqueue
+	mTxBytes    *obs.Counter
+	mDrops      *obs.Counter
 }
 
 // ID returns the port number.
@@ -124,8 +131,12 @@ func (p *Port) enqueue(pkt *core.Packet, qid int) bool {
 	}
 	wire := pkt.WireLen()
 	if !p.queues[qid].Enqueue(pkt) {
+		p.mDrops.Inc()
+		p.sw.span(pkt, obs.StageDrop, uint64(qid), uint64(wire))
 		return false
 	}
+	p.mQueueDepth.Observe(uint64(p.queues[qid].Bytes()))
+	p.sw.span(pkt, obs.StageEnqueue, uint64(qid), uint64(p.queues[qid].Bytes()))
 	p.rxUtil.Add(wire) // demand entering the egress link
 	p.kick()
 	return true
@@ -137,11 +148,15 @@ func (p *Port) kick() {
 	if p.ch == nil || p.ch.Busy() {
 		return
 	}
-	for _, q := range p.queues {
+	for qi, q := range p.queues {
 		if pkt := q.Dequeue(); pkt != nil {
 			wire := pkt.WireLen()
 			p.txBytes += uint64(wire)
 			p.txUtil.Add(wire)
+			p.mTxBytes.Add(uint64(wire))
+			lat := uint64(int64(p.sw.sim.Now()) - pkt.Meta.EnqueuedAt)
+			p.sw.m.hopLatency.Observe(lat)
+			p.sw.span(pkt, obs.StageSched, uint64(qi), lat)
 			p.ch.Send(pkt)
 			return
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/l3"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tcam"
 	"repro/internal/tcpu"
 )
@@ -51,6 +52,17 @@ type Config struct {
 	// option.  (Real routers record interface IPs; our switches have
 	// none, so the id stands in.)
 	RecordRoute bool
+
+	// Metrics registers this switch's counters and histograms
+	// (hierarchically keyed switch/<id>/...).  Nil disables metric
+	// recording: the hot path then touches only nil handles, which
+	// cost one branch and never allocate.
+	Metrics *obs.Registry
+	// Trace records packet-lifecycle span events at every pipeline
+	// stage (parser, lookup, TCPU, memory manager, egress queue,
+	// scheduler).  Nil disables tracing.  Enabling it also turns on
+	// per-instruction TCPU spans (tcpu.Config.RecordSpans).
+	Trace *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -101,23 +113,60 @@ type Switch struct {
 
 	mirror ForwardFunc
 
+	// Telemetry: span tracer plus pre-resolved metric handles (all
+	// nil when disabled — recording through them is then a no-op).
+	tracer *obs.Tracer
+	m      switchMetrics
+
 	// LastTCPU holds the result of the most recent TPP execution,
 	// for tests and the cycle-model experiments.
 	LastTCPU tcpu.Result
+}
+
+// switchMetrics bundles the per-switch metric handles, resolved once
+// at construction so the dataplane never does name lookups.
+type switchMetrics struct {
+	packets       *obs.Counter
+	tpps          *obs.Counter
+	tppFaults     *obs.Counter
+	tppOverBudget *obs.Counter
+	tppsStripped  *obs.Counter
+	ttlDrops      *obs.Counter
+	blackholes    *obs.Counter
+	tcpuCycles    *obs.Histogram // modeled cycles per TPP execution
+	hopLatency    *obs.Histogram // ns from parser to scheduler dequeue
 }
 
 // New builds a switch and registers its housekeeping ticker with the
 // simulator.
 func New(sim *netsim.Sim, cfg Config) *Switch {
 	cfg.fill()
+	if cfg.Trace != nil {
+		// Per-instruction TCPU spans ride along with lifecycle
+		// tracing so -trace output can audit the §3.3 budget.
+		cfg.TCPU.RecordSpans = true
+	}
 	s := &Switch{
-		sim:   sim,
-		cfg:   cfg,
-		l2:    l2.New(cfg.L2AgeNs),
-		l3:    l3.New(),
-		tcam:  tcam.New(),
-		alloc: mem.NewAllocator(),
-		sram:  make([]uint32, mem.SRAMWords),
+		sim:    sim,
+		cfg:    cfg,
+		l2:     l2.New(cfg.L2AgeNs),
+		l3:     l3.New(),
+		tcam:   tcam.New(),
+		alloc:  mem.NewAllocator(),
+		sram:   make([]uint32, mem.SRAMWords),
+		tracer: cfg.Trace,
+	}
+	reg := cfg.Metrics // nil registry hands out nil (no-op) handles
+	s.m = switchMetrics{
+		packets:       reg.Counter(fmt.Sprintf("switch/%d/packets", cfg.ID)),
+		tpps:          reg.Counter(fmt.Sprintf("switch/%d/tpps_executed", cfg.ID)),
+		tppFaults:     reg.Counter(fmt.Sprintf("switch/%d/tpp_faults", cfg.ID)),
+		tppOverBudget: reg.Counter(fmt.Sprintf("switch/%d/tcpu_over_budget", cfg.ID)),
+		tppsStripped:  reg.Counter(fmt.Sprintf("switch/%d/tpps_stripped", cfg.ID)),
+		ttlDrops:      reg.Counter(fmt.Sprintf("switch/%d/ttl_drops", cfg.ID)),
+		blackholes:    reg.Counter(fmt.Sprintf("switch/%d/blackholes", cfg.ID)),
+		tcpuCycles:    reg.Histogram(fmt.Sprintf("switch/%d/tcpu_cycles", cfg.ID)),
+		hopLatency:    reg.Histogram(fmt.Sprintf("switch/%d/hop_latency_ns", cfg.ID)),
 	}
 	for i := 0; i < cfg.Ports; i++ {
 		p := &Port{
@@ -126,6 +175,10 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 			trusted: true,
 			rxUtil:  newMeter(cfg.UtilGain, cfg.StatsInterval.Seconds()),
 			txUtil:  newMeter(cfg.UtilGain, cfg.StatsInterval.Seconds()),
+
+			mQueueDepth: reg.Histogram(fmt.Sprintf("switch/%d/port/%d/queue_depth_bytes", cfg.ID, i)),
+			mTxBytes:    reg.Counter(fmt.Sprintf("switch/%d/port/%d/tx_bytes", cfg.ID, i)),
+			mDrops:      reg.Counter(fmt.Sprintf("switch/%d/port/%d/drops", cfg.ID, i)),
 		}
 		for q := 0; q < cfg.QueuesPerPort; q++ {
 			p.queues = append(p.queues, NewQueue(cfg.QueueCapBytes))
@@ -134,6 +187,16 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 	}
 	sim.Every(cfg.StatsInterval, cfg.StatsInterval, s.housekeeping)
 	return s
+}
+
+// span records one lifecycle event for pkt at the current simulated
+// time.  It compiles to nothing observable when tracing is disabled:
+// the tracer is nil and Record returns immediately.
+func (s *Switch) span(pkt *core.Packet, stage obs.Stage, a, b uint64) {
+	s.tracer.Record(obs.SpanEvent{
+		At: int64(s.sim.Now()), UID: pkt.Meta.UID, Node: s.cfg.ID,
+		Stage: stage, A: a, B: b,
+	})
 }
 
 // ID returns the switch id.
@@ -185,11 +248,14 @@ func (s *Switch) housekeeping() {
 func (s *Switch) Receive(pkt *core.Packet, port int) {
 	p := s.ports[port]
 	p.rxBytes += uint64(pkt.WireLen())
+	s.span(pkt, obs.StageParser, uint64(port), uint64(pkt.WireLen()))
 
 	// §4 security: untrusted edge ports strip TPPs.
 	if pkt.TPP != nil && !p.trusted {
+		s.span(pkt, obs.StageStrip, uint64(port), 0)
 		pkt = stripTPP(pkt)
 		s.tppsStripped++
+		s.m.tppsStripped.Inc()
 		if pkt == nil {
 			return // nothing remained to forward
 		}
@@ -220,12 +286,14 @@ func stripTPP(pkt *core.Packet) *core.Packet {
 // egress queue(s).
 func (s *Switch) forward(pkt *core.Packet, inPort int) {
 	s.packets++
+	s.m.packets.Inc()
 
 	// Lookup precedence mirrors §3.1's pipeline: the TCAM slices see
 	// the packet first, then L3 LPM, then the L2 hash table.
 	if out, meta, decided := s.lookupTCAM(pkt, inPort); decided {
+		s.span(pkt, obs.StageLookupTCAM, uint64(meta.ID), uint64(meta.Version))
 		if out < 0 {
-			return // dropped by rule
+			return // dropped by rule (its journey ends at the lookup span)
 		}
 		pkt.Meta.MatchedEntry = meta.ID
 		pkt.Meta.MatchedVer = meta.Version
@@ -237,9 +305,12 @@ func (s *Switch) forward(pkt *core.Packet, inPort int) {
 		if rt, ok := s.l3.Lookup(pkt.IP.Dst); ok {
 			if pkt.IP.TTL <= 1 {
 				s.ttlDrops++
+				s.m.ttlDrops.Inc()
+				s.span(pkt, obs.StageTTLDrop, uint64(inPort), 0)
 				return
 			}
 			pkt.IP.TTL--
+			s.span(pkt, obs.StageLookupL3, uint64(rt.OutPort), uint64(pkt.IP.TTL))
 			s.deliver(pkt, inPort, rt.OutPort)
 			return
 		}
@@ -275,6 +346,7 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 	s.l2.Learn(pkt.Eth.Src, inPort, now)
 	if !pkt.Eth.Dst.IsBroadcast() {
 		if out, ok := s.l2.Lookup(pkt.Eth.Dst, now); ok {
+			s.span(pkt, obs.StageLookupL2, uint64(out), 0)
 			s.deliver(pkt, inPort, out)
 			return
 		}
@@ -286,11 +358,14 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 		if p.id == inPort || !p.Wired() {
 			continue
 		}
+		s.span(pkt, obs.StageLookupL2, uint64(p.id), 1)
 		s.deliver(pkt.Clone(), inPort, p.id)
 		flooded = true
 	}
 	if !flooded {
 		s.blackholes++
+		s.m.blackholes.Inc()
+		s.span(pkt, obs.StageBlackhole, uint64(inPort), 0)
 	}
 }
 
@@ -299,6 +374,8 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	if outPort < 0 || outPort >= len(s.ports) || !s.ports[outPort].Wired() {
 		s.blackholes++
+		s.m.blackholes.Inc()
+		s.span(pkt, obs.StageBlackhole, uint64(inPort), uint64(outPort))
 		return
 	}
 	pkt.Meta.OutPort = uint32(outPort)
@@ -326,8 +403,21 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 		v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
 		s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
 		s.tppsExecuted++
+		s.m.tpps.Inc()
+		s.m.tcpuCycles.Observe(uint64(s.LastTCPU.Cycles))
+		if s.LastTCPU.Fault != nil {
+			s.m.tppFaults.Inc()
+		}
+		if !s.LastTCPU.WithinBudget() {
+			s.m.tppOverBudget.Inc()
+		}
+		s.span(pkt, obs.StageTCPU, uint64(s.LastTCPU.Cycles), uint64(s.LastTCPU.Executed))
 	}
 
+	// The memory manager admits the packet into shared buffer memory
+	// just after the TCPU; A carries the target queue, B the occupancy
+	// it sees before this packet is admitted.
+	s.span(pkt, obs.StageMemMgr, uint64(pkt.Meta.QueueID), uint64(s.ports[outPort].QueueBytes()))
 	s.ports[outPort].enqueue(pkt, int(pkt.Meta.QueueID))
 }
 

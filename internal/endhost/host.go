@@ -26,6 +26,11 @@ type Host struct {
 	handlers map[uint16]Handler
 	fallback Handler
 
+	// uidBase makes packet UIDs unique network-wide, not just per
+	// host, so lifecycle traces from different sources never collide:
+	// the low 24 MAC bits occupy the top of the UID and a per-host
+	// sequence number the bottom 40 bits.
+	uidBase uint64
 	nextUID uint64
 
 	// Received counts delivered packets (after echo handling).
@@ -42,6 +47,7 @@ func NewHost(sim *netsim.Sim, mac core.MAC, ip uint32) *Host {
 		IP:       ip,
 		NIC:      NewNIC(0),
 		handlers: make(map[uint16]Handler),
+		uidBase:  (mac.Uint64() & 0xFFFFFF) << 40,
 	}
 }
 
@@ -95,8 +101,13 @@ func (h *Host) echoProbe(pkt *core.Packet) {
 
 func (h *Host) uid() uint64 {
 	h.nextUID++
-	return h.nextUID
+	return h.uidBase | h.nextUID
 }
+
+// NextUID allocates a network-unique packet UID from this host's space,
+// for callers that build packets by hand (controllers, injectors) so
+// their packets remain distinguishable in lifecycle traces.
+func (h *Host) NextUID() uint64 { return h.uid() }
 
 // NewPacket builds a unicast data packet from this host.
 func (h *Host) NewPacket(dstMAC core.MAC, dstIP uint32, srcPort, dstPort uint16, payloadLen int) *core.Packet {

@@ -49,6 +49,7 @@ func (p *Prober) Probe(dstMAC core.MAC, dstIP uint32, tpp *core.TPP, fn func(*co
 			Src: p.host.IP, Dst: dstIP},
 		UDP:     &core.UDP{SrcPort: EchoReplyPort, DstPort: ProbeEchoPort},
 		Payload: payload,
+		Meta:    core.Metadata{UID: p.host.uid()},
 	}
 	if !p.host.Send(pkt) {
 		return false

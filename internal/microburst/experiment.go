@@ -4,6 +4,7 @@ import (
 	"repro/internal/asic"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -26,6 +27,12 @@ type Config struct {
 	// values model cheaper, sparser sampling).  Zero means 1.
 	SampleEvery int
 	Seed        int64
+
+	// Metrics and Trace thread the telemetry subsystem through the
+	// switch and register the detector's queue-depth histogram under
+	// microburst/queue_depth_bytes; both may be nil.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // DefaultConfig is the canonical run: an 8-to-1 incast of 15 KB bursts
@@ -56,6 +63,10 @@ type Result struct {
 	PollerPolls      int
 	PollerPeak       uint32
 	MeanEpisodeUs    float64 // mean detected burst duration, microseconds
+
+	// QueueDepth is the telemetry-observed queue-occupancy distribution
+	// (the detector's histogram) — percentiles, not just the peak.
+	QueueDepth *obs.Histogram
 }
 
 // DetectionRateTPP returns the fraction of generated bursts the TPP
@@ -79,7 +90,8 @@ func (r Result) DetectionRatePoller() float64 {
 func Run(cfg Config) Result {
 	sim := netsim.New(cfg.Seed)
 	edge := topo.Mbps(cfg.EdgeMbps, 10*netsim.Microsecond)
-	n, hosts, sw := topo.Star(sim, cfg.Senders+1, edge, asic.Config{QueueCapBytes: 500_000})
+	n, hosts, sw := topo.Star(sim, cfg.Senders+1, edge,
+		asic.Config{QueueCapBytes: 500_000, Metrics: cfg.Metrics, Trace: cfg.Trace})
 	receiver := hosts[cfg.Senders]
 	senders := hosts[:cfg.Senders]
 	n.PrimeL2(10 * netsim.Millisecond)
@@ -87,6 +99,11 @@ func Run(cfg Config) Result {
 	rcvPort := n.AttachmentOf(receiver).Port
 
 	detector := NewDetector(cfg.Threshold, 10*netsim.Millisecond)
+	if cfg.Metrics != nil {
+		// Register the distribution so it appears in metric snapshots
+		// alongside the switch's own queue histograms.
+		detector.Depth = cfg.Metrics.Histogram("microburst/queue_depth_bytes")
+	}
 	receiver.HandleDefault(func(pkt *core.Packet) {
 		if pkt.TPP == nil {
 			return
@@ -144,6 +161,7 @@ func Run(cfg Config) Result {
 		PollerPolls:      poller.Polls,
 		PollerPeak:       poller.Peak,
 		MeanEpisodeUs:    meanUs,
+		QueueDepth:       detector.Depth,
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // TelemetryProgram returns the §2.1 probe: one queue-size snapshot per
@@ -74,18 +75,24 @@ type Detector struct {
 	// seen through telemetry.
 	Observed int
 	Peak     uint32
+
+	// Depth is the full queue-depth distribution (log2 buckets), a far
+	// richer picture than the single Peak value: percentiles and the
+	// shape of the occupancy distribution come from here.
+	Depth *obs.Histogram
 }
 
 // NewDetector builds a detector flagging queue occupancy at or above
 // thresholdBytes, closing episodes after maxGap without a qualifying
 // sample.
 func NewDetector(thresholdBytes uint32, maxGap netsim.Time) *Detector {
-	return &Detector{threshold: thresholdBytes, maxGap: maxGap}
+	return &Detector{threshold: thresholdBytes, maxGap: maxGap, Depth: obs.NewHistogram()}
 }
 
 // Observe feeds one telemetry sample.
 func (d *Detector) Observe(at netsim.Time, queueBytes uint32) {
 	d.Observed++
+	d.Depth.Observe(uint64(queueBytes))
 	if queueBytes > d.Peak {
 		d.Peak = queueBytes
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/asic"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tcam"
 	"repro/internal/topo"
 )
@@ -14,6 +15,13 @@ type Config struct {
 	Packets  int // instrumented data packets to trace
 	EdgeMbps float64
 	Seed     int64
+
+	// Metrics and Trace, when non-nil, thread the telemetry subsystem
+	// through every switch in the fabric (see internal/obs); the span
+	// log then provides an out-of-band journey to cross-check the
+	// in-band TPP traces (JourneyFromSpans).
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // DefaultConfig is the canonical run.
@@ -41,6 +49,12 @@ type Result struct {
 	BaselineCopies    uint64
 	BaselineCopyBytes uint64
 	JourneysAgree     bool
+
+	// LastUID and LastTrace identify the final in-band trace collected,
+	// so out-of-band span logs (Config.Trace) can be cross-validated
+	// against it with JourneyFromSpans.
+	LastUID   uint64
+	LastTrace []HopRecord
 }
 
 // Run executes the experiment: trace a conforming fabric, inject a
@@ -49,7 +63,8 @@ func Run(cfg Config) Result {
 	sim := netsim.New(cfg.Seed)
 	edge := topo.Mbps(cfg.EdgeMbps, 10*netsim.Microsecond)
 	fabric := topo.Mbps(cfg.EdgeMbps, 10*netsim.Microsecond)
-	n, hosts, leaves, spines := topo.LeafSpine(sim, 2, 2, 1, edge, fabric, asic.Config{})
+	n, hosts, leaves, spines := topo.LeafSpine(sim, 2, 2, 1, edge, fabric,
+		asic.Config{Metrics: cfg.Metrics, Trace: cfg.Trace})
 	src, dst := hosts[0][0], hosts[1][0]
 
 	// Port bookkeeping from construction order: each leaf connects to
@@ -135,6 +150,8 @@ func Run(cfg Config) Result {
 
 	res.BaselineCopies = copyCollector.Copies
 	res.BaselineCopyBytes = copyCollector.CopyBytes
+	res.LastUID = lastUID
+	res.LastTrace = lastTrace
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Receiver is anything that can accept a packet from a link: a switch
@@ -33,6 +34,10 @@ type Channel struct {
 
 	lossRate float64
 	lossRand *rand.Rand
+
+	// Packet-lifecycle tracing (nil when telemetry is disabled).
+	trace   *obs.Tracer
+	traceID uint32
 
 	// Counters read by the port statistics machinery.
 	BytesSent   uint64
@@ -79,6 +84,18 @@ func (c *Channel) SetLoss(p float64, seed int64) {
 	c.lossRand = rand.New(rand.NewSource(seed))
 }
 
+// SetTrace attaches the packet-lifecycle tracer; id identifies this
+// channel in link span events (serialization start, loss, delivery).
+// A nil tracer disables link tracing at zero per-packet cost.
+func (c *Channel) SetTrace(tr *obs.Tracer, id uint32) {
+	c.trace = tr
+	c.traceID = id
+}
+
+// TraceID returns the identifier link span events carry (0 when
+// tracing was never attached).
+func (c *Channel) TraceID() uint32 { return c.traceID }
+
 // Busy reports whether a transmission is in progress.
 func (c *Channel) Busy() bool { return c.sim.Now() < c.busyUntil }
 
@@ -97,10 +114,15 @@ func (c *Channel) Send(pkt *core.Packet) Time {
 		panic("netsim: Send on busy channel")
 	}
 	wire := pkt.WireLen()
-	done := c.sim.Now() + c.SerializationDelay(wire)
+	ser := c.SerializationDelay(wire)
+	done := c.sim.Now() + ser
 	c.busyUntil = done
 	c.BytesSent += uint64(wire)
 	c.PacketsSent++
+	c.trace.Record(obs.SpanEvent{
+		At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+		Stage: obs.StageLinkTx, A: uint64(wire), B: uint64(ser),
+	})
 	c.sim.At(done, func() {
 		if c.onIdle != nil {
 			c.onIdle()
@@ -110,9 +132,21 @@ func (c *Channel) Send(pkt *core.Packet) Time {
 		// The frame occupies the wire but arrives corrupted and is
 		// discarded by the receiver's FCS check.
 		c.PacketsLost++
+		if c.trace != nil {
+			c.sim.At(done+c.delay, func() {
+				c.trace.Record(obs.SpanEvent{
+					At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+					Stage: obs.StageLinkLoss, A: uint64(wire),
+				})
+			})
+		}
 		return done
 	}
 	c.sim.At(done+c.delay, func() {
+		c.trace.Record(obs.SpanEvent{
+			At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+			Stage: obs.StageLinkRx, A: uint64(c.dstPort), B: uint64(wire),
+		})
 		c.dst.Receive(pkt, c.dstPort)
 	})
 	return done

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -333,5 +334,69 @@ func TestChannelValidation(t *testing.T) {
 	}
 	if d := ch.SerializationDelay(1000); d != Second {
 		t.Fatalf("SerializationDelay = %v", d)
+	}
+}
+
+func TestRunUntilPast(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(10, func() { count++ })
+	s.At(50, func() { count++ })
+	s.RunUntil(30)
+	if count != 1 || s.Now() != 30 {
+		t.Fatalf("setup: count=%d now=%v", count, s.Now())
+	}
+	// A target at or before now must not rewind the clock and must not
+	// fire events scheduled in the future.
+	s.RunUntil(20)
+	if s.Now() != 30 {
+		t.Fatalf("RunUntil into the past moved the clock to %v", s.Now())
+	}
+	if count != 1 {
+		t.Fatalf("RunUntil into the past fired future events: count=%d", count)
+	}
+	s.RunUntil(30) // t == now: same contract
+	if s.Now() != 30 || count != 1 {
+		t.Fatalf("RunUntil(now): count=%d now=%v", count, s.Now())
+	}
+	s.RunUntil(50)
+	if count != 2 || s.Now() != 50 {
+		t.Fatalf("resume: count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestTickerStopByPeerAtSameInstant(t *testing.T) {
+	// An event at the same timestamp as a pending tick stops the
+	// ticker; the already-queued tick must observe the stop and not
+	// fire (nor reschedule).
+	s := New(1)
+	fires := 0
+	tk := s.Every(10, 10, func() { fires++ })
+	s.At(20, func() { tk.Stop() }) // queued before the t=20 tick
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("ticker fired %d times, want 1 (t=10 only)", fires)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("stopped ticker left %d events queued", s.Pending())
+	}
+}
+
+func TestSameTimeFIFONested(t *testing.T) {
+	// Events scheduled *during* processing of time T, at time T, run
+	// after everything already queued for T — scheduling order is
+	// firing order even across nesting levels.
+	s := New(1)
+	var order []string
+	s.At(5, func() {
+		order = append(order, "a")
+		s.At(5, func() { order = append(order, "a.child") })
+	})
+	s.At(5, func() { order = append(order, "b") })
+	s.Run()
+	want := "a,b,a.child"
+	got := strings.Join(order, ",")
+	if got != want {
+		t.Fatalf("nested same-time order = %q, want %q", got, want)
 	}
 }

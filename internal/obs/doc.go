@@ -1,0 +1,29 @@
+// Package obs is the simulation-time-aware telemetry subsystem: the
+// structured observability layer the paper's thesis demands of the
+// network is applied here to the reproduction itself.
+//
+// It has two halves:
+//
+//   - A metric Registry of counters, gauges and fixed log2-bucket
+//     histograms, keyed hierarchically ("switch/3/port/1/queue_depth_bytes").
+//     Handles are resolved once at construction time; every hot-path
+//     operation (Counter.Add, Histogram.Observe, Tracer.Record) is a
+//     safe no-op on a nil receiver, so a dataplane built without
+//     telemetry pays nothing — no branches on a config struct, no
+//     allocations, no atomic traffic.
+//
+//   - A packet-lifecycle Tracer: a bounded ring buffer of SpanEvents
+//     recorded at each pipeline stage (parser, lookup, TCPU, memory
+//     manager, egress queue, scheduler) and at each link (serialization
+//     start, loss, delivery), from which any packet's full journey can
+//     be reconstructed by UID and fed to the internal/ndb debugger.
+//
+// Both halves export snapshots as JSONL (one object per line, for
+// ingestion) and CSV (via internal/trace, for the experiment
+// harnesses), and Diff produces counter/histogram deltas for tests.
+//
+// All mutating operations are safe for concurrent use: counters,
+// gauges and histogram buckets are atomics and the tracer ring is
+// mutex-guarded, so the -race telemetry tests can hammer them from
+// parallel benchmarks.
+package obs

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	var tr *Tracer
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		g.Add(-1)
+		h.Observe(1234)
+		tr.Record(SpanEvent{At: 1, UID: 2, Stage: StageEnqueue})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates: %v allocs/op", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Len() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if s := r.Snapshot(0); len(s.Metrics) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("switch/1/packets")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("switch/1/packets") != c {
+		t.Fatal("counter handle not idempotent")
+	}
+	g := r.Gauge("switch/1/rate")
+	g.Set(100)
+	g.Add(-30)
+	if g.Value() != 70 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Sum() != 1025 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// Bucket layout: 0 -> b0, 1 -> b1, {2,3} -> b2, {4..7} -> b3,
+	// {8..15} -> b4, 1000 -> b10.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1}
+	for i := 0; i < NumBuckets; i++ {
+		if got := h.Bucket(i); got != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d", q)
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d (want upper edge of bucket 2)", q)
+	}
+	if BucketLow(3) != 4 || BucketHigh(3) != 7 {
+		t.Fatalf("bucket 3 bounds [%d,%d]", BucketLow(3), BucketHigh(3))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 999 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a/packets").Add(10)
+	r.Gauge("a/rate").Set(42)
+	r.Histogram("a/depth").Observe(100)
+
+	before := r.Snapshot(1000)
+	r.Counter("a/packets").Add(5)
+	r.Gauge("a/rate").Set(40)
+	r.Histogram("a/depth").Observe(200)
+	r.Histogram("a/depth").Observe(100)
+	after := r.Snapshot(2000)
+
+	if m, ok := after.Get("a/packets"); !ok || m.Value != 15 {
+		t.Fatalf("after counter: %+v", m)
+	}
+	d := Diff(before, after)
+	if m, _ := d.Get("a/packets"); m.Value != 5 {
+		t.Fatalf("diff counter = %d", m.Value)
+	}
+	if m, _ := d.Get("a/rate"); m.Value != 40 {
+		t.Fatalf("diff gauge = %d (gauges keep the after value)", m.Value)
+	}
+	m, _ := d.Get("a/depth")
+	if m.Count != 2 || m.Sum != 300 {
+		t.Fatalf("diff histogram: %+v", m)
+	}
+	var n uint64
+	for _, b := range m.Buckets {
+		n += b.N
+	}
+	if n != 2 {
+		t.Fatalf("diff buckets hold %d observations: %+v", n, m.Buckets)
+	}
+}
+
+func TestSnapshotExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sw/pkts").Add(3)
+	r.Histogram("sw/depth").Observe(5)
+	s := r.Snapshot(7)
+
+	var jb strings.Builder
+	if err := s.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines: %v", lines)
+	}
+	var m Metric
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "sw/pkts" || m.Kind != KindCounter || m.Value != 3 || m.AtNs != 7 {
+		t.Fatalf("decoded metric: %+v", m)
+	}
+
+	var cb strings.Builder
+	if err := s.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cb.String(), "sw/depth,histogram") {
+		t.Fatalf("csv:\n%s", cb.String())
+	}
+}
+
+func TestTracerRingAndJourney(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(SpanEvent{At: int64(i), UID: uint64(i % 2), Stage: StageParser})
+	}
+	if tr.Len() != 4 || tr.Total() != 6 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d total=%d dropped=%d", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].At != 2 || evs[3].At != 5 {
+		t.Fatalf("ring order: %+v", evs)
+	}
+	j := tr.Journey(1)
+	if len(j) != 2 || j[0].At != 3 || j[1].At != 5 {
+		t.Fatalf("journey: %+v", j)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTracerRecordNoAlloc(t *testing.T) {
+	tr := NewTracer(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(SpanEvent{At: 1, UID: 2, Node: 3, Stage: StageEnqueue, A: 4, B: 5})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled tracer allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestTracerExport(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(SpanEvent{At: 10, UID: 1, Node: 2, Stage: StageEnqueue, A: 0, B: 1500})
+	var jb strings.Builder
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"stage":"enqueue"`) {
+		t.Fatalf("jsonl: %s", jb.String())
+	}
+	var cb strings.Builder
+	if err := tr.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cb.String(), "10,1,2,enqueue,0,1500") {
+		t.Fatalf("csv: %s", cb.String())
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	if StageParser.String() != "parser" || StageLinkRx.String() != "link-rx" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage must name unknown")
+	}
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Registry holds the metric namespace.  Names are hierarchical,
+// slash-separated paths ("switch/3/port/1/queue_depth_bytes"); handles
+// are resolved once, at construction time, and used lock-free on the
+// hot path.  All lookup methods are safe on a nil *Registry and return
+// nil handles, whose operations are no-ops — the disabled-telemetry
+// fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric kinds in snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Low  uint64 `json:"lo"`
+	High uint64 `json:"hi"`
+	N    uint64 `json:"n"`
+}
+
+// Metric is one metric's state in a snapshot.
+type Metric struct {
+	AtNs int64  `json:"at_ns"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	// Value is the counter count or the gauge value.
+	Value int64 `json:"value,omitempty"`
+
+	// Histogram fields.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Max     uint64   `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile of a histogram metric from its
+// snapshotted buckets (0 for other kinds or empty histograms).
+func (m Metric) Quantile(q float64) uint64 {
+	if m.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(m.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range m.Buckets {
+		cum += b.N
+		if cum >= target {
+			if m.Max < b.High {
+				return m.Max
+			}
+			return b.High
+		}
+	}
+	return m.Max
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted
+// by name.
+type Snapshot struct {
+	AtNs    int64
+	Metrics []Metric
+}
+
+// Snapshot captures the registry at simulated time atNs.
+func (r *Registry) Snapshot(atNs int64) Snapshot {
+	s := Snapshot{AtNs: atNs}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Metrics = append(s.Metrics, Metric{
+			AtNs: atNs, Name: name, Kind: KindCounter, Value: int64(c.Value()),
+		})
+	}
+	for name, g := range r.gauges {
+		s.Metrics = append(s.Metrics, Metric{
+			AtNs: atNs, Name: name, Kind: KindGauge, Value: g.Value(),
+		})
+	}
+	for name, h := range r.hists {
+		m := Metric{
+			AtNs: atNs, Name: name, Kind: KindHistogram,
+			Count: h.Count(), Sum: h.Sum(), Max: h.Max(),
+		}
+		for i := 0; i < NumBuckets; i++ {
+			if n := h.Bucket(i); n > 0 {
+				m.Buckets = append(m.Buckets, Bucket{Low: BucketLow(i), High: BucketHigh(i), N: n})
+			}
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	return s
+}
+
+// Get returns the named metric from the snapshot.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// WriteJSONL emits one JSON object per metric, one per line.
+func (s Snapshot) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, m := range s.Metrics {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the snapshot as CSV rows: histogram distributions are
+// summarized as count/sum/max plus approximate p50 and p99.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	c := trace.NewCSV(w, "name", "kind", "value", "count", "sum", "max", "p50", "p99")
+	for _, m := range s.Metrics {
+		if m.Kind == KindHistogram {
+			c.Row(m.Name, m.Kind, "", m.Count, m.Sum, m.Max, m.Quantile(0.5), m.Quantile(0.99))
+		} else {
+			c.Row(m.Name, m.Kind, m.Value, "", "", "", "", "")
+		}
+	}
+	return c.Err()
+}
+
+// Diff returns after minus before: counter and histogram counts become
+// deltas (metrics only in after pass through; gauges and histogram
+// maxima keep the after value, as they are not meaningfully
+// subtractable).  Tests use it to assert what one operation contributed.
+func Diff(before, after Snapshot) Snapshot {
+	prev := make(map[string]Metric, len(before.Metrics))
+	for _, m := range before.Metrics {
+		prev[m.Name] = m
+	}
+	out := Snapshot{AtNs: after.AtNs}
+	for _, m := range after.Metrics {
+		p, ok := prev[m.Name]
+		if ok && p.Kind == m.Kind {
+			switch m.Kind {
+			case KindCounter:
+				m.Value -= p.Value
+			case KindHistogram:
+				m.Count -= p.Count
+				m.Sum -= p.Sum
+				m.Buckets = diffBuckets(p.Buckets, m.Buckets)
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// diffBuckets subtracts the before counts bucket-by-bucket, dropping
+// buckets that end up empty.
+func diffBuckets(before, after []Bucket) []Bucket {
+	prev := make(map[uint64]uint64, len(before))
+	for _, b := range before {
+		prev[b.Low] = b.N
+	}
+	var out []Bucket
+	for _, b := range after {
+		b.N -= prev[b.Low]
+		if b.N > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Stage identifies where in a packet's lifecycle a span event was
+// recorded.  The switch stages mirror the §3.1 ingress pipeline order:
+// parser, lookup (TCAM slices first, then L3 LPM, then the L2 hash
+// table), TCPU, memory manager, egress queue, scheduler; the link
+// stages cover serialization and propagation between nodes.
+type Stage uint8
+
+// Lifecycle stages and the meaning of each event's A/B arguments.
+const (
+	// StageParser: packet entered the ingress pipeline.  A=input
+	// port, B=wire bytes.  Node is the switch id.
+	StageParser Stage = iota
+	// StageLookupTCAM: a TCAM slice decided forwarding.  A=matched
+	// entry id, B=entry version.
+	StageLookupTCAM
+	// StageLookupL3: the LPM table decided forwarding.  A=output
+	// port, B=remaining TTL.
+	StageLookupL3
+	// StageLookupL2: the MAC table decided forwarding.  A=output
+	// port, B=1 when this is a flooded copy.
+	StageLookupL2
+	// StageTCPU: the tiny CPU executed the packet's TPP.  A=modeled
+	// pipeline cycles, B=instructions executed.
+	StageTCPU
+	// StageMemMgr: the memory manager admitted the packet toward its
+	// egress queue.  A=queue id, B=queue bytes before admission.
+	StageMemMgr
+	// StageEnqueue: the packet was stored in its egress queue.
+	// A=queue id, B=queue bytes after (the depth the packet sees).
+	StageEnqueue
+	// StageDrop: the egress queue dropped the packet (drop-tail).
+	// A=queue id, B=wire bytes lost.
+	StageDrop
+	// StageSched: the scheduler dequeued the packet for transmission.
+	// A=queue id, B=nanoseconds since the packet entered the switch
+	// (per-hop latency).
+	StageSched
+	// StageTTLDrop: the packet's TTL expired at this switch.  A=input
+	// port.
+	StageTTLDrop
+	// StageBlackhole: no forwarding decision existed.  A=input port.
+	StageBlackhole
+	// StageStrip: an untrusted edge port stripped the packet's TPP
+	// (§4 security).  A=input port.
+	StageStrip
+	// StageLinkTx: the link began serializing the packet.  A=wire
+	// bytes, B=serialization nanoseconds.  Node is the link id.
+	StageLinkTx
+	// StageLinkLoss: the loss model corrupted the frame in flight.
+	// A=wire bytes.  Node is the link id.
+	StageLinkLoss
+	// StageLinkRx: the last bit arrived at the far end.  A=receiver
+	// port, B=wire bytes.  Node is the link id.
+	StageLinkRx
+)
+
+var stageNames = [...]string{
+	StageParser:     "parser",
+	StageLookupTCAM: "lookup-tcam",
+	StageLookupL3:   "lookup-l3",
+	StageLookupL2:   "lookup-l2",
+	StageTCPU:       "tcpu",
+	StageMemMgr:     "memmgr",
+	StageEnqueue:    "enqueue",
+	StageDrop:       "drop",
+	StageSched:      "sched",
+	StageTTLDrop:    "ttl-drop",
+	StageBlackhole:  "blackhole",
+	StageStrip:      "tpp-strip",
+	StageLinkTx:     "link-tx",
+	StageLinkLoss:   "link-loss",
+	StageLinkRx:     "link-rx",
+}
+
+// String names the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// SpanEvent is one recorded point in a packet's journey.  Node is the
+// switch id for pipeline stages and the link id for link stages; A and
+// B carry stage-specific arguments (documented on each Stage constant).
+// The struct is all-scalar so recording never allocates.
+type SpanEvent struct {
+	At    int64
+	UID   uint64
+	Node  uint32
+	Stage Stage
+	A, B  uint64
+}
+
+// DefaultTraceCap is the default ring capacity: enough for ~4k packet
+// journeys of a dozen-plus events each.
+const DefaultTraceCap = 1 << 16
+
+// Tracer is a bounded ring buffer of span events.  When full, the
+// oldest events are overwritten (Dropped counts them); recording is
+// mutex-guarded and allocation-free.  All methods are no-ops on a nil
+// receiver.
+type Tracer struct {
+	mu  sync.Mutex
+	buf []SpanEvent
+	n   uint64 // total events ever recorded
+}
+
+// NewTracer builds a tracer holding up to capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]SpanEvent, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (t *Tracer) Record(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.n%uint64(len(t.buf))] = ev
+	t.n++
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever recorded, including
+// overwritten ones.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := uint64(len(t.buf))
+	if t.n < size {
+		out := make([]SpanEvent, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	out := make([]SpanEvent, 0, size)
+	start := t.n % size
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// Journey returns the retained events of one packet, oldest first —
+// the reconstructable per-hop record the ndb debugger consumes.
+func (t *Tracer) Journey(uid uint64) []SpanEvent {
+	var out []SpanEvent
+	for _, ev := range t.Events() {
+		if ev.UID == uid {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.n = 0
+	t.mu.Unlock()
+}
+
+// spanJSON is the JSONL wire form of a SpanEvent.
+type spanJSON struct {
+	At    int64  `json:"at_ns"`
+	UID   uint64 `json:"uid"`
+	Node  uint32 `json:"node"`
+	Stage string `json:"stage"`
+	A     uint64 `json:"a"`
+	B     uint64 `json:"b"`
+}
+
+// WriteJSONL emits the retained events, one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(spanJSON{
+			At: ev.At, UID: ev.UID, Node: ev.Node,
+			Stage: ev.Stage.String(), A: ev.A, B: ev.B,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the retained events as CSV rows.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	c := trace.NewCSV(w, "at_ns", "uid", "node", "stage", "a", "b")
+	for _, ev := range t.Events() {
+		c.Row(ev.At, ev.UID, ev.Node, ev.Stage.String(), ev.A, ev.B)
+	}
+	return c.Err()
+}

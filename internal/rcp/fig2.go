@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/endhost"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -35,6 +36,9 @@ type Fig2Config struct {
 	// (both data and probes), for robustness experiments; zero means
 	// lossless.
 	LossRate float64
+	// Metrics, when non-nil, registers the switches' dataplane metrics
+	// and each controller's control-loop metrics (rcp/flow<i>/...).
+	Metrics *obs.Registry
 }
 
 // DefaultFig2Config returns the paper's setup.
@@ -71,7 +75,7 @@ func RunFigure2(cfg Fig2Config) Fig2Result {
 
 	// Queues sized to one bandwidth-delay product of the bottleneck.
 	queueCap := int(cfg.BottleneckMbps * 1e6 / 8 * cfg.Params.D.Seconds())
-	swCfg := asic.Config{Ports: 8, QueueCapBytes: queueCap}
+	swCfg := asic.Config{Ports: 8, QueueCapBytes: queueCap, Metrics: cfg.Metrics}
 	a := n.AddSwitch(swCfg)
 	b := n.AddSwitch(swCfg)
 	bottleneck := topo.Mbps(cfg.BottleneckMbps, 10*netsim.Millisecond)
@@ -109,6 +113,9 @@ func RunFigure2(cfg Fig2Config) Fig2Result {
 			ctl := NewStarController(sim, senders[i],
 				endhost.NewProber(senders[i]),
 				receivers[i].MAC, receivers[i].IP, cfg.Params)
+			if cfg.Metrics != nil {
+				ctl.EnableMetrics(cfg.Metrics, fmt.Sprintf("flow%d", i))
+			}
 			sim.At(sim.Now()+cfg.FlowStarts[i], ctl.Start)
 		}
 		bnPort := a.Port(aPort)

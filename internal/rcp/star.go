@@ -1,6 +1,7 @@
 package rcp
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/asic"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/endhost"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Statistic addresses of the collect-phase program.
@@ -73,6 +75,20 @@ type StarController struct {
 	Collects uint64 // phase-1 echoes processed
 	Updates  uint64 // phase-3 TPPs sent
 	LastRate float64
+
+	// Registry handles (nil unless EnableMetrics was called).
+	mCollects *obs.Counter
+	mUpdates  *obs.Counter
+	mRate     *obs.Gauge
+}
+
+// EnableMetrics registers this controller's control-loop metrics under
+// rcp/<name>/: collect echoes processed, update TPPs sent, and the
+// current fair-share rate in bytes/sec.  A nil registry is a no-op.
+func (c *StarController) EnableMetrics(reg *obs.Registry, name string) {
+	c.mCollects = reg.Counter(fmt.Sprintf("rcp/%s/collects", name))
+	c.mUpdates = reg.Counter(fmt.Sprintf("rcp/%s/updates", name))
+	c.mRate = reg.Gauge(fmt.Sprintf("rcp/%s/rate_bytes_per_sec", name))
 }
 
 // NewStarController builds the controller for one sender/receiver
@@ -173,6 +189,7 @@ func (c *StarController) onCollect(e *core.TPP) {
 		return
 	}
 	c.Collects++
+	c.mCollects.Inc()
 
 	// Phase 2: compute R_link for every hop from the collected
 	// samples; the flow's rate is the minimum fair share read from
@@ -205,6 +222,7 @@ func (c *StarController) onCollect(e *core.TPP) {
 	// Adopt the fair share read from the registers.
 	if !math.IsInf(minReg, 1) && minReg > 0 {
 		c.LastRate = minReg
+		c.mRate.Set(int64(minReg))
 		c.Flow.SetRate(minReg)
 		if !c.Flow.Running() {
 			c.Flow.Start()
@@ -233,8 +251,10 @@ func (c *StarController) sendUpdate(switchID uint32, rate float64) {
 		TPP: tpp,
 		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
 			Src: c.host.IP, Dst: c.dstIP},
-		UDP: &core.UDP{SrcPort: StarDataPort, DstPort: StarDataPort},
+		UDP:  &core.UDP{SrcPort: StarDataPort, DstPort: StarDataPort},
+		Meta: core.Metadata{UID: c.host.NextUID()},
 	}
 	c.host.Send(pkt)
 	c.Updates++
+	c.mUpdates.Inc()
 }

@@ -1,0 +1,97 @@
+package tcpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// TestExecSpans checks the per-instruction span timeline: retire
+// cycles follow the 1-instruction-per-cycle model with a 4-cycle
+// latency, CSTORE stalls cost one extra cycle, and the terminating
+// instruction is marked.
+func TestExecSpans(t *testing.T) {
+	view := newFakeView()
+	sram := uint16(mem.SRAMBase + 1)
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: sram},         // retires at cycle 4
+		{Op: core.OpCSTORE, A: sram, B: 1}, // success: stall, retires at 6
+		{Op: core.OpCEXEC, A: sram, B: 4},  // predicate fails: halt at 7
+		{Op: core.OpPUSH, A: sram},         // never executes
+	}, 8)
+	// CSTORE cond/src at words 1,2 (old value written to word 3):
+	// SRAM starts at 0, so cond=0 succeeds and stores 9.
+	tpp.SetWord(1, 0)
+	tpp.SetWord(2, 9)
+	// CEXEC mask/value at words 4,5: SRAM now holds 9, 9&0xFF != 1.
+	tpp.SetWord(4, 0xFF)
+	tpp.SetWord(5, 1)
+	// The PUSH writes word 0 (Ptr starts at 0), clear of the operands.
+
+	cfg := Config{MaxInstructions: 8, RecordSpans: true}
+	r := cfg.Exec(tpp, view)
+	if r.Fault != nil {
+		t.Fatal(r.Fault)
+	}
+	if !r.Halted {
+		t.Fatal("CEXEC should have halted execution")
+	}
+	if len(r.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (4th instruction never executes): %+v", len(r.Spans), r.Spans)
+	}
+	s0, s1, s2 := r.Spans[0], r.Spans[1], r.Spans[2]
+	if s0.Op != core.OpPUSH || s0.RetireCycle != PipelineLatency || s0.Loads != 1 {
+		t.Fatalf("span 0: %+v", s0)
+	}
+	if s1.Op != core.OpCSTORE || !s1.Stall || s1.RetireCycle != PipelineLatency+2 {
+		t.Fatalf("span 1 (stall adds a cycle): %+v", s1)
+	}
+	if s2.Op != core.OpCEXEC || !s2.Halted || s2.RetireCycle != PipelineLatency+3 {
+		t.Fatalf("span 2: %+v", s2)
+	}
+	if r.Cycles != s2.RetireCycle {
+		t.Fatalf("Result.Cycles %d != last retire cycle %d", r.Cycles, s2.RetireCycle)
+	}
+	if s2.OverBudget() {
+		t.Fatal("a 3-instruction program is well within the 300-cycle budget")
+	}
+}
+
+// TestExecSpansDisabled checks that the default configuration records
+// nothing and that Exec stays allocation-free without spans.
+func TestExecSpansDisabled(t *testing.T) {
+	view := newFakeView()
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.SRAMBase)},
+	}, 2)
+	cfg := Config{MaxInstructions: 8}
+	r := cfg.Exec(tpp, view)
+	if r.Spans != nil {
+		t.Fatalf("spans recorded without RecordSpans: %+v", r.Spans)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tpp.Ptr = 0
+		cfg.Exec(tpp, view)
+	})
+	if allocs != 0 {
+		t.Fatalf("span-free Exec allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestExecSpanFault checks the faulting instruction is marked in its
+// span.
+func TestExecSpanFault(t *testing.T) {
+	view := newFakeView()
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPOP, A: uint16(mem.SRAMBase)}, // empty stack: fault
+	}, 2)
+	cfg := Config{MaxInstructions: 8, RecordSpans: true}
+	r := cfg.Exec(tpp, view)
+	if r.Fault == nil {
+		t.Fatal("POP on empty stack must fault")
+	}
+	if len(r.Spans) != 1 || !r.Spans[0].Fault {
+		t.Fatalf("fault span: %+v", r.Spans)
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	// longer program faults (end-hosts are expected to split work
 	// across multiple TPPs).  Zero means DefaultMaxInstructions.
 	MaxInstructions int
+	// RecordSpans makes Exec fill Result.Spans with one entry per
+	// executed instruction (retire cycle, memory accesses, stalls),
+	// so executions can be audited against the §3.3 line-rate budget.
+	// Off by default: span recording allocates.
+	RecordSpans bool
 }
 
 func (c Config) maxIns() int {
@@ -65,6 +70,9 @@ type Result struct {
 	Fault error
 	// Cycles is the pipeline occupancy per the Figure 5 timing model.
 	Cycles int
+	// Spans holds per-instruction execution spans when
+	// Config.RecordSpans is set (nil otherwise).
+	Spans []InsSpan
 
 	// cstoreStalls counts successful conditional stores, each of
 	// which occupies both memory stages (one extra stall cycle).
@@ -106,144 +114,171 @@ func (c Config) Exec(t *core.TPP, view mem.View) (r Result) {
 
 	for _, in := range t.Ins {
 		r.Executed++
-		switch in.Op {
-		case core.OpNOP:
-
-		case core.OpLOAD:
-			v, err := view.Load(mem.Addr(in.A))
-			if err != nil {
-				r.Fault = err
-				return r
+		loads, stores, stalls := r.Loads, r.Stores, r.cstoreStalls
+		ok := c.step(t, in, view, &r)
+		if c.RecordSpans {
+			if r.Spans == nil {
+				r.Spans = make([]InsSpan, 0, len(t.Ins))
 			}
-			r.Loads++
-			if !c.putWord(t, &r, t.EffectiveWord(in.B), v) {
-				return r
-			}
-
-		case core.OpSTORE:
-			v, ok := c.getWord(t, &r, t.EffectiveWord(in.B))
-			if !ok {
-				return r
-			}
-			if err := view.Store(mem.Addr(in.A), v); err != nil {
-				r.Fault = err
-				return r
-			}
-			r.Stores++
-
-		case core.OpPUSH:
-			if t.Mode != core.AddrStack {
-				r.Fault = fmt.Errorf("tcpu: PUSH requires stack addressing mode")
-				return r
-			}
-			v, err := view.Load(mem.Addr(in.A))
-			if err != nil {
-				r.Fault = err
-				return r
-			}
-			r.Loads++
-			if int(t.Ptr)+4 > len(t.Mem) {
-				r.Fault = fmt.Errorf("tcpu: packet memory exhausted: SP=%d, mem=%d bytes", t.Ptr, len(t.Mem))
-				return r
-			}
-			t.SetWord(int(t.Ptr)/4, v)
-			t.Ptr += 4
-
-		case core.OpPOP:
-			if t.Mode != core.AddrStack {
-				r.Fault = fmt.Errorf("tcpu: POP requires stack addressing mode")
-				return r
-			}
-			if t.Ptr < 4 {
-				r.Fault = fmt.Errorf("tcpu: POP on empty stack")
-				return r
-			}
-			t.Ptr -= 4
-			v := t.Word(int(t.Ptr) / 4)
-			if err := view.Store(mem.Addr(in.A), v); err != nil {
-				r.Fault = err
-				return r
-			}
-			r.Stores++
-
-		case core.OpCSTORE:
-			// CSTORE dst,cond,src: cond and src live in packet
-			// memory at B and B+1; the old value of dst is written
-			// back at B+2 so the end-host observes success/failure.
-			base := t.EffectiveWord(in.B)
-			cond, ok := c.getWord(t, &r, base)
-			if !ok {
-				return r
-			}
-			src, ok := c.getWord(t, &r, base+1)
-			if !ok {
-				return r
-			}
-			old, err := c.condStore(view, mem.Addr(in.A), cond, src, &r)
-			if err != nil {
-				r.Fault = err
-				return r
-			}
-			if !c.putWord(t, &r, base+2, old) {
-				return r
-			}
-
-		case core.OpCEXEC:
-			// CEXEC reg,mask,value: execute the rest only if
-			// (reg & mask) == value; mask and value live in packet
-			// memory at B and B+1.
-			base := t.EffectiveWord(in.B)
-			mask, ok := c.getWord(t, &r, base)
-			if !ok {
-				return r
-			}
-			val, ok := c.getWord(t, &r, base+1)
-			if !ok {
-				return r
-			}
-			v, err := view.Load(mem.Addr(in.A))
-			if err != nil {
-				r.Fault = err
-				return r
-			}
-			r.Loads++
-			if v&mask != val {
-				r.Halted = true
-				return r
-			}
-
-		case core.OpADD, core.OpSUB, core.OpMAX:
-			v, err := view.Load(mem.Addr(in.A))
-			if err != nil {
-				r.Fault = err
-				return r
-			}
-			r.Loads++
-			w := t.EffectiveWord(in.B)
-			cur, ok := c.getWord(t, &r, w)
-			if !ok {
-				return r
-			}
-			switch in.Op {
-			case core.OpADD:
-				cur += v
-			case core.OpSUB:
-				cur -= v
-			case core.OpMAX:
-				if v > cur {
-					cur = v
-				}
-			}
-			if !c.putWord(t, &r, w, cur) {
-				return r
-			}
-
-		default:
-			r.Fault = fmt.Errorf("tcpu: unknown opcode %v", in.Op)
+			r.Spans = append(r.Spans, InsSpan{
+				Index:       r.Executed - 1,
+				Op:          in.Op,
+				RetireCycle: PipelineLatency + r.Executed - 1 + r.cstoreStalls,
+				Loads:       r.Loads - loads,
+				Stores:      r.Stores - stores,
+				Stall:       r.cstoreStalls > stalls,
+				Fault:       r.Fault != nil,
+				Halted:      r.Halted,
+			})
+		}
+		if !ok {
 			return r
 		}
 	}
 	return r
+}
+
+// step executes one instruction against the view, mutating r's access
+// counters and fault state.  It returns false when execution must stop:
+// a fault, or a failed CEXEC predicate.
+func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result) bool {
+	switch in.Op {
+	case core.OpNOP:
+
+	case core.OpLOAD:
+		v, err := view.Load(mem.Addr(in.A))
+		if err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Loads++
+		if !c.putWord(t, r, t.EffectiveWord(in.B), v) {
+			return false
+		}
+
+	case core.OpSTORE:
+		v, ok := c.getWord(t, r, t.EffectiveWord(in.B))
+		if !ok {
+			return false
+		}
+		if err := view.Store(mem.Addr(in.A), v); err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Stores++
+
+	case core.OpPUSH:
+		if t.Mode != core.AddrStack {
+			r.Fault = fmt.Errorf("tcpu: PUSH requires stack addressing mode")
+			return false
+		}
+		v, err := view.Load(mem.Addr(in.A))
+		if err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Loads++
+		if int(t.Ptr)+4 > len(t.Mem) {
+			r.Fault = fmt.Errorf("tcpu: packet memory exhausted: SP=%d, mem=%d bytes", t.Ptr, len(t.Mem))
+			return false
+		}
+		t.SetWord(int(t.Ptr)/4, v)
+		t.Ptr += 4
+
+	case core.OpPOP:
+		if t.Mode != core.AddrStack {
+			r.Fault = fmt.Errorf("tcpu: POP requires stack addressing mode")
+			return false
+		}
+		if t.Ptr < 4 {
+			r.Fault = fmt.Errorf("tcpu: POP on empty stack")
+			return false
+		}
+		t.Ptr -= 4
+		v := t.Word(int(t.Ptr) / 4)
+		if err := view.Store(mem.Addr(in.A), v); err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Stores++
+
+	case core.OpCSTORE:
+		// CSTORE dst,cond,src: cond and src live in packet
+		// memory at B and B+1; the old value of dst is written
+		// back at B+2 so the end-host observes success/failure.
+		base := t.EffectiveWord(in.B)
+		cond, ok := c.getWord(t, r, base)
+		if !ok {
+			return false
+		}
+		src, ok := c.getWord(t, r, base+1)
+		if !ok {
+			return false
+		}
+		old, err := c.condStore(view, mem.Addr(in.A), cond, src, r)
+		if err != nil {
+			r.Fault = err
+			return false
+		}
+		if !c.putWord(t, r, base+2, old) {
+			return false
+		}
+
+	case core.OpCEXEC:
+		// CEXEC reg,mask,value: execute the rest only if
+		// (reg & mask) == value; mask and value live in packet
+		// memory at B and B+1.
+		base := t.EffectiveWord(in.B)
+		mask, ok := c.getWord(t, r, base)
+		if !ok {
+			return false
+		}
+		val, ok := c.getWord(t, r, base+1)
+		if !ok {
+			return false
+		}
+		v, err := view.Load(mem.Addr(in.A))
+		if err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Loads++
+		if v&mask != val {
+			r.Halted = true
+			return false
+		}
+
+	case core.OpADD, core.OpSUB, core.OpMAX:
+		v, err := view.Load(mem.Addr(in.A))
+		if err != nil {
+			r.Fault = err
+			return false
+		}
+		r.Loads++
+		w := t.EffectiveWord(in.B)
+		cur, ok := c.getWord(t, r, w)
+		if !ok {
+			return false
+		}
+		switch in.Op {
+		case core.OpADD:
+			cur += v
+		case core.OpSUB:
+			cur -= v
+		case core.OpMAX:
+			if v > cur {
+				cur = v
+			}
+		}
+		if !c.putWord(t, r, w, cur) {
+			return false
+		}
+
+	default:
+		r.Fault = fmt.Errorf("tcpu: unknown opcode %v", in.Op)
+		return false
+	}
+	return true
 }
 
 // condStore performs the compare-and-store, atomically when the view

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/endhost"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // LinkSpec describes one full-duplex link.
@@ -41,6 +42,26 @@ type Network struct {
 	nextPort map[*asic.Switch]int
 	nextID   uint32
 	nextHost uint64
+
+	// Telemetry adopted from the first switch Config that carries it
+	// (or set directly before wiring): new channels get the tracer
+	// with a sequential link id so span logs identify each direction.
+	trace    *obs.Tracer
+	nextLink uint32
+}
+
+// SetTrace attaches the packet-lifecycle tracer to the topology; every
+// channel created afterwards records link serialization, loss and
+// delivery events under a sequential link id.
+func (n *Network) SetTrace(tr *obs.Tracer) { n.trace = tr }
+
+// traceChannel attaches the network tracer to a freshly built channel.
+func (n *Network) traceChannel(ch *netsim.Channel) *netsim.Channel {
+	if n.trace != nil {
+		n.nextLink++
+		ch.SetTrace(n.trace, n.nextLink)
+	}
+	return ch
 }
 
 // NewNetwork starts an empty topology on sim.
@@ -62,6 +83,9 @@ func (n *Network) AddSwitch(cfg asic.Config) *asic.Switch {
 	}
 	if cfg.Ports == 0 {
 		cfg.Ports = 16
+	}
+	if cfg.Trace != nil && n.trace == nil {
+		n.trace = cfg.Trace
 	}
 	sw := asic.New(n.Sim, cfg)
 	n.Switches = append(n.Switches, sw)
@@ -93,9 +117,9 @@ func (n *Network) claimPort(sw *asic.Switch) int {
 // LinkHost connects h to sw over spec and returns the switch port used.
 func (n *Network) LinkHost(h *endhost.Host, sw *asic.Switch, spec LinkSpec) int {
 	port := n.claimPort(sw)
-	up := netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, sw, port)
+	up := n.traceChannel(netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, sw, port))
 	h.NIC.Attach(up)
-	down := netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, h, 0)
+	down := n.traceChannel(netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, h, 0))
 	sw.Wire(port, down)
 	n.attach[h] = Attachment{Switch: sw, Port: port}
 	return port
@@ -106,8 +130,8 @@ func (n *Network) LinkHost(h *endhost.Host, sw *asic.Switch, spec LinkSpec) int 
 func (n *Network) LinkSwitches(a, b *asic.Switch, spec LinkSpec) (int, int) {
 	ap := n.claimPort(a)
 	bp := n.claimPort(b)
-	a.Wire(ap, netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, b, bp))
-	b.Wire(bp, netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, a, ap))
+	a.Wire(ap, n.traceChannel(netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, b, bp)))
+	b.Wire(bp, n.traceChannel(netsim.NewChannel(n.Sim, spec.RateBps, spec.Delay, a, ap)))
 	return ap, bp
 }
 

@@ -7,6 +7,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -34,7 +35,10 @@ func (c *CSV) Row(values ...any) {
 		case float64:
 			cells[i] = fmt.Sprintf("%g", x)
 		case float32:
-			cells[i] = fmt.Sprintf("%g", x)
+			// Format at 32-bit precision: going through %g (which
+			// converts to float64 first) renders float32(0.1) as
+			// 0.10000000149011612 instead of 0.1.
+			cells[i] = strconv.FormatFloat(float64(x), 'g', -1, 32)
 		default:
 			cells[i] = fmt.Sprintf("%v", x)
 		}
@@ -128,9 +132,13 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// String renders the table to a string.
+// String renders the table to a string.  Rendering to an in-memory
+// buffer cannot fail, but WriteTo's contract allows an error, so it is
+// surfaced rather than silently dropped.
 func (t *Table) String() string {
 	var b strings.Builder
-	t.WriteTo(&b)
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("trace: table render failed: %v", err)
+	}
 	return b.String()
 }

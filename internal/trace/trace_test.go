@@ -106,3 +106,50 @@ func TestTableWriteError(t *testing.T) {
 		t.Fatal("row write error not surfaced")
 	}
 }
+
+func TestCSVFloat32Precision(t *testing.T) {
+	var b strings.Builder
+	c := NewCSV(&b)
+	c.Row(float32(0.1), float32(16777217), float32(2.5))
+	got := strings.TrimSpace(b.String())
+	// float32(0.1) must round-trip as "0.1", not the float64 rendering
+	// of its 32-bit approximation.
+	if got != "0.1,1.6777216e+07,2.5" {
+		t.Fatalf("float32 row = %q", got)
+	}
+}
+
+func TestCSVQuotedCells(t *testing.T) {
+	var b strings.Builder
+	c := NewCSV(&b, "k", "v")
+	c.Row("embedded\nnewline", `only "quotes"`)
+	c.Row("plain", "also plain")
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	lines := strings.SplitN(b.String(), "\n", 2)
+	if lines[0] != "k,v" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	rest := lines[1]
+	if !strings.HasPrefix(rest, "\"embedded\nnewline\",\"only \"\"quotes\"\"\"\n") {
+		t.Fatalf("quoted row: %q", rest)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(rest), "plain,also plain") {
+		t.Fatalf("plain row not preserved: %q", rest)
+	}
+}
+
+func TestTableStringNeverPanics(t *testing.T) {
+	// String goes through WriteTo's error path machinery; on the
+	// in-memory builder it must simply render.
+	tb := NewTable("a", "b")
+	tb.Row(1, 2)
+	s := tb.String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Fatalf("String() = %q", s)
+	}
+	if strings.Contains(s, "render failed") {
+		t.Fatalf("in-memory render reported failure: %q", s)
+	}
+}
