@@ -8,7 +8,7 @@
 //	experiments [-out DIR] [-metrics FILE] [-trace FILE] <experiment>
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 microburst ndb
-// wireless all
+// blackhole wireless all
 //
 // -metrics and -trace enable the telemetry subsystem (internal/obs) for
 // the experiments that support it (microburst, ndb, fig2): the final
@@ -43,6 +43,7 @@ var experiments = []experiment{
 	{"fig5", "TCPU pipeline cycle model and the 300-cycle budget", runFig5},
 	{"microburst", "§2.1 micro-burst detection vs coarse polling", runMicroburst},
 	{"ndb", "§2.3 forwarding-plane debugger vs packet-copy baseline", runNdb},
+	{"blackhole", "ndb blackhole localization under fault injection", runBlackhole},
 	{"wireless", "per-packet SNR sampling vs polling (§2 extension)", runWireless},
 	{"aimd", "extension: RCP* vs TCP-style AIMD head-to-head", runAIMD},
 	{"breakdown", "§2.1 per-hop queueing-latency breakdown", runBreakdown},

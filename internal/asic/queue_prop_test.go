@@ -1,0 +1,72 @@
+package asic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestQueueCounterInvariants property-tests the memory-manager
+// bookkeeping over randomized enqueue/dequeue sequences: at every step
+// the cumulative counters must reconcile exactly with the
+// instantaneous occupancy,
+//
+//	EnqBytes - DeqBytes == Bytes()   (drops never enter the queue)
+//	EnqPkts  - DeqPkts  == Len()
+//
+// and every offered byte is either enqueued or dropped.
+func TestQueueCounterInvariants(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		capBytes := 500 + rnd.Intn(5000)
+		q := NewQueue(capBytes)
+		var offeredBytes, offeredPkts uint64
+
+		check := func(step int) {
+			t.Helper()
+			if got := q.EnqBytes - q.DeqBytes; got != uint64(q.Bytes()) {
+				t.Fatalf("trial %d step %d: EnqBytes-DeqBytes = %d, Bytes() = %d",
+					trial, step, got, q.Bytes())
+			}
+			if got := q.EnqPkts - q.DeqPkts; got != uint64(q.Len()) {
+				t.Fatalf("trial %d step %d: EnqPkts-DeqPkts = %d, Len() = %d",
+					trial, step, got, q.Len())
+			}
+			if q.EnqBytes+q.DropBytes != offeredBytes {
+				t.Fatalf("trial %d step %d: enq %d + drop %d != offered %d",
+					trial, step, q.EnqBytes, q.DropBytes, offeredBytes)
+			}
+			if q.EnqPkts+q.DropPkts != offeredPkts {
+				t.Fatalf("trial %d step %d: enq %d + drop %d != offered %d pkts",
+					trial, step, q.EnqPkts, q.DropPkts, offeredPkts)
+			}
+			if q.Bytes() < 0 || q.Bytes() > capBytes {
+				t.Fatalf("trial %d step %d: occupancy %d outside [0, %d]",
+					trial, step, q.Bytes(), capBytes)
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			if rnd.Intn(3) < 2 { // bias toward enqueue so drops happen
+				pkt := &core.Packet{
+					Eth:    core.Ethernet{Type: core.EtherTypeIPv4},
+					PadLen: rnd.Intn(1500),
+				}
+				offeredBytes += uint64(pkt.WireLen())
+				offeredPkts++
+				q.Enqueue(pkt)
+			} else {
+				q.Dequeue()
+			}
+			check(step)
+		}
+		// Drain completely: counters must converge to equality.
+		for q.Dequeue() != nil {
+		}
+		check(-1)
+		if q.Bytes() != 0 || q.Len() != 0 {
+			t.Fatalf("trial %d: drained queue reports %dB/%dpkts", trial, q.Bytes(), q.Len())
+		}
+	}
+}

@@ -113,6 +113,12 @@ type Switch struct {
 
 	mirror ForwardFunc
 
+	// tcpuOff disables TPP execution on this switch (fault injection:
+	// a broken or administratively disabled TCPU).  Packets still
+	// forward; their programs simply do not run here, so hop traces
+	// skip this switch.
+	tcpuOff bool
+
 	// Telemetry: span tracer plus pre-resolved metric handles (all
 	// nil when disabled — recording through them is then a no-op).
 	tracer *obs.Tracer
@@ -225,6 +231,14 @@ func (s *Switch) SetSRAM(i int, v uint32) { s.sram[i] = v }
 
 // SetMirror installs the forwarding observer.
 func (s *Switch) SetMirror(fn ForwardFunc) { s.mirror = fn }
+
+// SetTCPUEnabled toggles TPP execution on this switch — the fault
+// injector's per-switch TCPU kill switch.  While disabled, TPP packets
+// forward unmodified (no loads, stores or hop records).
+func (s *Switch) SetTCPUEnabled(v bool) { s.tcpuOff = !v }
+
+// TCPUEnabled reports whether this switch executes TPPs.
+func (s *Switch) TCPUEnabled() bool { return !s.tcpuOff }
 
 // PacketsSwitched returns the cumulative forwarded-packet count.
 func (s *Switch) PacketsSwitched() uint64 { return s.packets }
@@ -399,7 +413,7 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	// "The tiny CPU (TCPU) that processes TPPs is placed just before
 	// the packet is stored in memory."  Non-TPP packets are ignored
 	// by the TCPU.
-	if pkt.TPP != nil && pkt.Eth.Type == core.EtherTypeTPP {
+	if pkt.TPP != nil && pkt.Eth.Type == core.EtherTypeTPP && !s.tcpuOff {
 		v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
 		s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
 		s.tppsExecuted++

@@ -1,0 +1,54 @@
+package asic_test
+
+import (
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// TestTCPUDisableToggle exercises the per-switch TCPU fault toggle: a
+// probe walking three switches records only the hops whose TCPU is
+// enabled, the disabled switch still forwards the packet, and
+// re-enabling restores full traces.
+func TestTCPUDisableToggle(t *testing.T) {
+	sim := netsim.New(1)
+	n, src, dst, sws := topo.Line(sim, 3, edge, backbone, asic.Config{})
+	n.PrimeL2(5 * netsim.Millisecond)
+
+	prober := endhost.NewProber(src)
+	walk := func() *core.TPP {
+		var echoed *core.TPP
+		prober.Probe(dst.MAC, dst.IP, queueProbe(3), func(e *core.TPP) { echoed = e })
+		sim.RunUntil(sim.Now() + 50*netsim.Millisecond)
+		if echoed == nil {
+			t.Fatal("probe echo never arrived")
+		}
+		return echoed
+	}
+
+	if e := walk(); e.Ptr != 12 {
+		t.Fatalf("healthy walk recorded %d bytes, want 12", e.Ptr)
+	}
+
+	mid := sws[1]
+	if !mid.TCPUEnabled() {
+		t.Fatal("TCPU should default to enabled")
+	}
+	mid.SetTCPUEnabled(false)
+	execsBefore := mid.TPPsExecuted()
+	if e := walk(); e.Ptr != 8 {
+		t.Fatalf("walk past disabled TCPU recorded %d bytes, want 8 (2 hops)", e.Ptr)
+	}
+	if mid.TPPsExecuted() != execsBefore {
+		t.Fatal("disabled TCPU still executed a TPP")
+	}
+
+	mid.SetTCPUEnabled(true)
+	if e := walk(); e.Ptr != 12 {
+		t.Fatalf("recovered walk recorded %d bytes, want 12", e.Ptr)
+	}
+}

@@ -6,41 +6,133 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/netsim"
 )
+
+// ProbeConfig bounds one probe's lifetime.  The zero value reproduces
+// the legacy fire-and-wait behavior: no deadline, no retries, the
+// pending entry lives until the echo arrives or the prober forgets it.
+type ProbeConfig struct {
+	// Timeout is how long to wait for the echo before the attempt is
+	// declared lost.  Zero means wait forever (and disables retries,
+	// since there is no timer to drive them).
+	Timeout netsim.Time
+	// Retries is how many times a timed-out (or send-dropped) probe
+	// is retransmitted before it is reaped and its failure callback
+	// runs.
+	Retries int
+	// Backoff scales the timeout after every retransmission; values
+	// below 1 are treated as 1 (constant timeout).  The conventional
+	// choice is 2 (exponential backoff).
+	Backoff float64
+}
+
+func (c ProbeConfig) nextTimeout(cur netsim.Time) netsim.Time {
+	b := c.Backoff
+	if b < 1 {
+		b = 1
+	}
+	return netsim.Time(float64(cur) * b)
+}
+
+// pendingProbe is one outstanding probe's bookkeeping.
+type pendingProbe struct {
+	fn     func(*core.TPP)
+	onFail func()
+	cfg    ProbeConfig
+
+	// pristine is an unexecuted copy of the program, kept for
+	// retransmission: the network executes (and mutates) the TPP the
+	// packet carries, so resends need a fresh clone.
+	pristine *core.TPP
+	dstMAC   core.MAC
+	dstIP    uint32
+
+	attempt int
+	timeout netsim.Time
+}
 
 // Prober sends TPP probe packets and collects their echoes.  One
 // Prober per host handles any number of destinations and outstanding
 // probes; echoes are matched by a cookie carried in the probe payload.
+// Probes are subject to congestion and loss: give them a deadline
+// (ProbeConfig) and the prober reaps or retransmits them, keeping the
+// pending set bounded even on a faulty network.
 type Prober struct {
-	host    *Host
-	next    uint32
-	pending map[uint32]func(*core.TPP)
+	host     *Host
+	next     uint32
+	pending  map[uint32]*pendingProbe
+	defaults ProbeConfig
 
-	// Sent and Matched count probes and successfully matched echoes.
+	// Sent and Matched count probe transmissions (including
+	// retransmissions) and successfully matched echoes.
 	Sent    uint64
 	Matched uint64
 	// Malformed counts echo packets that failed to parse.
 	Malformed uint64
+	// Retransmits counts timed-out attempts that were resent.
+	Retransmits uint64
+	// TimedOut counts probes reaped after exhausting their retries.
+	TimedOut uint64
 }
 
 // NewProber builds a prober and claims the host's echo-reply port.
 func NewProber(h *Host) *Prober {
-	p := &Prober{host: h, pending: make(map[uint32]func(*core.TPP))}
+	p := &Prober{host: h, pending: make(map[uint32]*pendingProbe)}
 	h.Handle(EchoReplyPort, p.onEcho)
 	return p
 }
+
+// SetDefaults installs the ProbeConfig that Probe and ProbeGroup use.
+func (p *Prober) SetDefaults(cfg ProbeConfig) { p.defaults = cfg }
 
 // Outstanding returns the number of probes awaiting echoes.
 func (p *Prober) Outstanding() int { return len(p.pending) }
 
 // Probe sends tpp toward the destination host; fn runs when the echo
 // returns, with the executed program (its packet memory filled in by
-// the switches on the forward path).  Probes are subject to congestion
-// and can be lost; lost probes simply never call fn, and Forget can
-// reap them.
+// the switches on the forward path).  The prober's default ProbeConfig
+// governs deadline and retries; with the zero default, lost probes
+// simply never call fn and Forget can reap them.
 func (p *Prober) Probe(dstMAC core.MAC, dstIP uint32, tpp *core.TPP, fn func(*core.TPP)) bool {
+	_, ok := p.ProbeCfg(dstMAC, dstIP, tpp, p.defaults, fn, nil)
+	return ok
+}
+
+// ProbeCfg sends tpp with an explicit per-probe config.  Exactly one
+// of fn (echo arrived) and onFail (deadline and retries exhausted)
+// eventually runs for a registered probe; onFail requires a nonzero
+// Timeout to ever fire.  It returns the probe's cookie and whether the
+// probe was registered: ok == false means nothing was sent and neither
+// callback will run.
+func (p *Prober) ProbeCfg(dstMAC core.MAC, dstIP uint32, tpp *core.TPP,
+	cfg ProbeConfig, fn func(*core.TPP), onFail func()) (cookie uint32, ok bool) {
 	p.next++
-	cookie := p.next
+	cookie = p.next
+	pp := &pendingProbe{
+		fn: fn, onFail: onFail, cfg: cfg,
+		dstMAC: dstMAC, dstIP: dstIP,
+		timeout: cfg.Timeout,
+	}
+	retriable := cfg.Timeout > 0 && cfg.Retries > 0
+	if retriable {
+		pp.pristine = tpp.Clone()
+	}
+	sent := p.send(cookie, dstMAC, dstIP, tpp)
+	if !sent && !retriable {
+		// Nothing in flight and no timer to drive a retry: fail fast
+		// so callers can unwind instead of leaking a cookie.
+		return cookie, false
+	}
+	p.pending[cookie] = pp
+	if cfg.Timeout > 0 {
+		p.scheduleExpiry(cookie, pp)
+	}
+	return cookie, true
+}
+
+// send builds and transmits one probe attempt.
+func (p *Prober) send(cookie uint32, dstMAC core.MAC, dstIP uint32, tpp *core.TPP) bool {
 	payload := binary.BigEndian.AppendUint32(nil, cookie)
 	pkt := &core.Packet{
 		Eth: core.Ethernet{Dst: dstMAC, Src: p.host.MAC, Type: core.EtherTypeTPP},
@@ -55,34 +147,83 @@ func (p *Prober) Probe(dstMAC core.MAC, dstIP uint32, tpp *core.TPP, fn func(*co
 		return false
 	}
 	p.Sent++
-	p.pending[cookie] = fn
 	return true
+}
+
+// scheduleExpiry arms the deadline for the probe's current attempt.
+// The timer is a no-op if the probe was answered, cancelled or already
+// retransmitted by the time it fires.
+func (p *Prober) scheduleExpiry(cookie uint32, pp *pendingProbe) {
+	attempt := pp.attempt
+	p.host.Sim.After(pp.timeout, func() {
+		cur, ok := p.pending[cookie]
+		if !ok || cur != pp || pp.attempt != attempt {
+			return // echoed, cancelled, or a newer attempt owns the timer
+		}
+		if pp.attempt >= pp.cfg.Retries {
+			delete(p.pending, cookie)
+			p.TimedOut++
+			if pp.onFail != nil {
+				pp.onFail()
+			}
+			return
+		}
+		pp.attempt++
+		pp.timeout = pp.cfg.nextTimeout(pp.timeout)
+		p.Retransmits++
+		// A dropped retransmission is handled like a lost one: the
+		// next deadline fires the next attempt (or the reaper).
+		p.send(cookie, pp.dstMAC, pp.dstIP, pp.pristine.Clone())
+		p.scheduleExpiry(cookie, pp)
+	})
+}
+
+// Cancel drops one outstanding probe by cookie; neither of its
+// callbacks will run.  It reports whether the cookie was pending.
+func (p *Prober) Cancel(cookie uint32) bool {
+	_, ok := p.pending[cookie]
+	delete(p.pending, cookie)
+	return ok
 }
 
 // ProbeGroup sends several TPPs as one logical multi-packet program
 // ("end-hosts can use multiple packets if a single packet is
-// insufficient for a network task", §2) and calls fn once every echo
-// has returned, in sending order.
+// insufficient for a network task", §2) and calls fn once every member
+// resolves, in sending order.  Members whose send was dropped, or that
+// exhausted their deadline and retries, resolve as nil, so the group
+// completes with partial results instead of leaking its callbacks.
+// With the zero (legacy) ProbeConfig a lost echo never resolves; give
+// the prober a Timeout to guarantee completion.  It returns false when
+// no member could be registered at all (fn will then never run).
 func (p *Prober) ProbeGroup(dstMAC core.MAC, dstIP uint32, tpps []*core.TPP, fn func([]*core.TPP)) bool {
 	results := make([]*core.TPP, len(tpps))
-	remaining := len(tpps)
-	ok := true
+	remaining := 0
+	registered := make([]int, 0, len(tpps))
+	resolve := func(i int, echoed *core.TPP) {
+		results[i] = echoed
+		remaining--
+		if remaining == 0 {
+			fn(results)
+		}
+	}
 	for i, tpp := range tpps {
 		i := i
-		sent := p.Probe(dstMAC, dstIP, tpp, func(echoed *core.TPP) {
-			results[i] = echoed
-			remaining--
-			if remaining == 0 {
-				fn(results)
-			}
-		})
-		ok = ok && sent
+		_, ok := p.ProbeCfg(dstMAC, dstIP, tpp, p.defaults,
+			func(echoed *core.TPP) { resolve(i, echoed) },
+			func() { resolve(i, nil) })
+		if ok {
+			registered = append(registered, i)
+		}
 	}
-	return ok
+	// Callbacks cannot have fired yet — sends only schedule simulator
+	// events — so counting after the loop is race-free by construction.
+	remaining = len(registered)
+	return remaining > 0
 }
 
 // Forget drops the pending callback for every outstanding probe; used
-// by periodic controllers that supersede unanswered probes.
+// by periodic controllers that supersede unanswered probes.  Armed
+// deadlines become no-ops.
 func (p *Prober) Forget() { clear(p.pending) }
 
 // onEcho parses an echo packet: serialized executed TPP followed by the
@@ -95,13 +236,13 @@ func (p *Prober) onEcho(pkt *core.Packet) {
 		return
 	}
 	cookie := binary.BigEndian.Uint32(pkt.Payload[n:])
-	fn, ok := p.pending[cookie]
+	pp, ok := p.pending[cookie]
 	if !ok {
 		return // superseded or duplicate
 	}
 	delete(p.pending, cookie)
 	p.Matched++
-	fn(&tpp)
+	pp.fn(&tpp)
 }
 
 // CollectProgram builds the canonical collect-phase probe: one PUSH per

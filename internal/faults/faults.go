@@ -1,0 +1,310 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// declarative, timed fault plan applied to a simulated network.  The
+// paper stresses that "TPPs are therefore subject to congestion" and
+// motivates ndb with failure localization; this package supplies the
+// failure axis — link down/up flaps, Bernoulli and Gilbert–Elliott
+// (bursty) frame loss, TCAM blackhole rules, and per-switch TCPU kill
+// switches — so every end-host mechanism (probe retry, RCP*
+// degradation, blackhole localization) can be exercised against a
+// misbehaving network and replayed exactly by seed.
+//
+// Targets are registered by name on an Injector; a Plan is a list of
+// timed Events against those names.  Every applied event is visible in
+// the internal/obs span stream (StageFaultInject / StageFaultRecover),
+// so experiment traces interleave faults with packet lifecycles.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/asic"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/tcam"
+)
+
+// Kind enumerates the injectable faults.
+type Kind uint8
+
+// The fault vocabulary.  LinkUp, ClearLoss, ClearBlackhole and TCPUOn
+// are the recovery counterparts; everything else injects.
+const (
+	// LinkDown severs every registered channel of the target link:
+	// frames in flight and frames sent while down are dropped.
+	LinkDown Kind = iota
+	// LinkUp restores the target link.
+	LinkUp
+	// LinkLoss installs independent (Bernoulli) frame loss with
+	// probability P on the target link.  P == 1 is a blackout.
+	LinkLoss
+	// LinkBurstyLoss installs the Gilbert–Elliott two-state bursty
+	// loss model (PGoodBad, PBadGood, LossGood, LossBad) on the
+	// target link.
+	LinkBurstyLoss
+	// ClearLoss removes any loss model from the target link.
+	ClearLoss
+	// Blackhole installs a maximum-priority TCAM drop rule for DstIP
+	// on the target switch: the silent packet eater ndb hunts.
+	Blackhole
+	// ClearBlackhole removes the drop rule Blackhole installed for
+	// DstIP on the target switch.
+	ClearBlackhole
+	// TCPUOff disables TPP execution on the target switch (packets
+	// still forward; hop traces skip the switch).
+	TCPUOff
+	// TCPUOn re-enables TPP execution on the target switch.
+	TCPUOn
+)
+
+var kindNames = [...]string{
+	LinkDown:       "link-down",
+	LinkUp:         "link-up",
+	LinkLoss:       "link-loss",
+	LinkBurstyLoss: "link-bursty-loss",
+	ClearLoss:      "clear-loss",
+	Blackhole:      "blackhole",
+	ClearBlackhole: "clear-blackhole",
+	TCPUOff:        "tcpu-off",
+	TCPUOn:         "tcpu-on",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// recovers reports whether the kind clears a fault rather than
+// injecting one (selects the span stage).
+func (k Kind) recovers() bool {
+	switch k {
+	case LinkUp, ClearLoss, ClearBlackhole, TCPUOn:
+		return true
+	}
+	return false
+}
+
+// Event is one timed fault against a registered target.
+type Event struct {
+	// At is the absolute simulation time the event applies.
+	At netsim.Time
+	// Kind selects the fault.
+	Kind Kind
+	// Target names a link (RegisterLink) for link kinds, or a switch
+	// (RegisterSwitch) for Blackhole/TCPU kinds.
+	Target string
+
+	// P is the loss probability for LinkLoss.
+	P float64
+	// PGoodBad, PBadGood, LossGood and LossBad parameterize
+	// LinkBurstyLoss (see netsim.GilbertElliott).
+	PGoodBad, PBadGood, LossGood, LossBad float64
+	// DstIP is the destination the Blackhole rule swallows.
+	DstIP uint32
+}
+
+// Plan is a declarative fault schedule.  The same plan with the same
+// seed replays the identical fault pattern: loss-model randomness is
+// seeded from Seed and the event's index, never from wall clock or the
+// simulation's shared rng.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// Flap is the common down-then-up pair: target goes down at `at` and
+// recovers after `downFor`.
+func Flap(target string, at, downFor netsim.Time) []Event {
+	return []Event{
+		{At: at, Kind: LinkDown, Target: target},
+		{At: at + downFor, Kind: LinkUp, Target: target},
+	}
+}
+
+// blackholePriority outranks every route a controller installs, so an
+// injected blackhole always wins the TCAM match.
+const blackholePriority = 1 << 20
+
+// Applied records one event the injector has executed, for tests and
+// reports.
+type Applied struct {
+	At    netsim.Time
+	Event Event
+}
+
+// Injector binds target names to simulator objects and schedules
+// plans.  One injector serves one simulation.
+type Injector struct {
+	sim    *netsim.Sim
+	tracer *obs.Tracer
+
+	links    map[string][]*netsim.Channel
+	switches map[string]*asic.Switch
+
+	// ruleIDs remembers the TCAM entry a Blackhole event installed,
+	// keyed by target+destination, so ClearBlackhole can remove it.
+	ruleIDs map[string]uint32
+
+	// Injected and Recovered count applied events by direction.
+	Injected  uint64
+	Recovered uint64
+	// Log lists every applied event in application order.
+	Log []Applied
+}
+
+// NewInjector builds an injector.  The tracer may be nil; when set,
+// every applied event is recorded as a fault span.
+func NewInjector(sim *netsim.Sim, tracer *obs.Tracer) *Injector {
+	return &Injector{
+		sim: sim, tracer: tracer,
+		links:    make(map[string][]*netsim.Channel),
+		switches: make(map[string]*asic.Switch),
+		ruleIDs:  make(map[string]uint32),
+	}
+}
+
+// RegisterLink names a link.  Pass both directions' channels so
+// LinkDown severs the link, not just one direction; passing a single
+// channel models a unidirectional fault.
+func (in *Injector) RegisterLink(name string, chs ...*netsim.Channel) {
+	if len(chs) == 0 {
+		panic("faults: RegisterLink with no channels")
+	}
+	in.links[name] = append(in.links[name], chs...)
+}
+
+// RegisterSwitch names a switch for Blackhole and TCPU events.
+func (in *Injector) RegisterSwitch(name string, sw *asic.Switch) {
+	in.switches[name] = sw
+}
+
+// Schedule validates the plan and arms every event on the simulator.
+// Validation is up-front: an unknown target or an out-of-range
+// probability fails here, not mid-run.
+func (in *Injector) Schedule(p Plan) error {
+	for i, ev := range p.Events {
+		if err := in.validate(ev); err != nil {
+			return fmt.Errorf("faults: event %d (%s @ %v): %w", i, ev.Kind, ev.At, err)
+		}
+	}
+	for i, ev := range p.Events {
+		ev := ev
+		// Derive each loss model's seed from the plan seed and the
+		// event's position: replayable, and independent streams per
+		// event.
+		seed := p.Seed*1_000_003 + int64(i)
+		in.sim.At(ev.At, func() { in.apply(ev, seed) })
+	}
+	return nil
+}
+
+func (in *Injector) validate(ev Event) error {
+	switch ev.Kind {
+	case LinkDown, LinkUp, LinkLoss, LinkBurstyLoss, ClearLoss:
+		if _, ok := in.links[ev.Target]; !ok {
+			return fmt.Errorf("unknown link %q", ev.Target)
+		}
+	case Blackhole, ClearBlackhole, TCPUOff, TCPUOn:
+		if _, ok := in.switches[ev.Target]; !ok {
+			return fmt.Errorf("unknown switch %q", ev.Target)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %d", ev.Kind)
+	}
+	probs := map[string]float64{"P": ev.P}
+	if ev.Kind == LinkBurstyLoss {
+		probs = map[string]float64{
+			"PGoodBad": ev.PGoodBad, "PBadGood": ev.PBadGood,
+			"LossGood": ev.LossGood, "LossBad": ev.LossBad,
+		}
+	}
+	for name, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("%s = %v out of [0,1]", name, p)
+		}
+	}
+	return nil
+}
+
+// apply executes one event now.
+func (in *Injector) apply(ev Event, seed int64) {
+	switch ev.Kind {
+	case LinkDown:
+		for _, ch := range in.links[ev.Target] {
+			ch.SetUp(false)
+		}
+	case LinkUp:
+		for _, ch := range in.links[ev.Target] {
+			ch.SetUp(true)
+		}
+	case LinkLoss:
+		for j, ch := range in.links[ev.Target] {
+			ch.SetLossModel(netsim.NewBernoulli(ev.P, seed+int64(j)))
+		}
+	case LinkBurstyLoss:
+		for j, ch := range in.links[ev.Target] {
+			ch.SetLossModel(netsim.NewGilbertElliott(
+				ev.PGoodBad, ev.PBadGood, ev.LossGood, ev.LossBad, seed+int64(j)))
+		}
+	case ClearLoss:
+		for _, ch := range in.links[ev.Target] {
+			ch.SetLossModel(nil)
+		}
+	case Blackhole:
+		sw := in.switches[ev.Target]
+		v, m := tcam.DstIPRule(ev.DstIP)
+		id := sw.TCAM().Insert(blackholePriority, v, m, tcam.Action{Drop: true})
+		in.ruleIDs[blackholeKey(ev.Target, ev.DstIP)] = id
+	case ClearBlackhole:
+		sw := in.switches[ev.Target]
+		key := blackholeKey(ev.Target, ev.DstIP)
+		if id, ok := in.ruleIDs[key]; ok {
+			// The rule can only be absent if the control plane removed
+			// it underneath us; ignore that, the hole is gone either way.
+			_ = sw.TCAM().Remove(id)
+			delete(in.ruleIDs, key)
+		}
+	case TCPUOff:
+		in.switches[ev.Target].SetTCPUEnabled(false)
+	case TCPUOn:
+		in.switches[ev.Target].SetTCPUEnabled(true)
+	}
+
+	if ev.Kind.recovers() {
+		in.Recovered++
+	} else {
+		in.Injected++
+	}
+	in.Log = append(in.Log, Applied{At: in.sim.Now(), Event: ev})
+	in.recordSpan(ev)
+}
+
+func blackholeKey(target string, ip uint32) string {
+	return fmt.Sprintf("%s/%08x", target, ip)
+}
+
+// recordSpan emits the fault event into the packet-lifecycle span
+// stream (UID 0: no packet).  Node carries the target's identity: the
+// switch id for switch faults, the first channel's trace id for link
+// faults.
+func (in *Injector) recordSpan(ev Event) {
+	if in.tracer == nil {
+		return
+	}
+	var node uint32
+	if sw, ok := in.switches[ev.Target]; ok {
+		node = sw.ID()
+	} else if chs := in.links[ev.Target]; len(chs) > 0 {
+		node = chs[0].TraceID()
+	}
+	stage := obs.StageFaultInject
+	if ev.Kind.recovers() {
+		stage = obs.StageFaultRecover
+	}
+	in.tracer.Record(obs.SpanEvent{
+		At: int64(in.sim.Now()), UID: 0, Node: node,
+		Stage: stage, A: uint64(ev.Kind), B: uint64(ev.DstIP),
+	})
+}

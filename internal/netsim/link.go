@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -32,8 +32,15 @@ type Channel struct {
 	busyUntil Time
 	onIdle    func()
 
-	lossRate float64
-	lossRand *rand.Rand
+	loss LossModel
+
+	// down is set while the link is administratively or physically
+	// down (fault injection).  The transmitter keeps clocking frames
+	// out — the owner's queue must not stall — but nothing arrives.
+	// downEpoch increments on every transition to down so frames in
+	// flight at that moment are dropped too.
+	down      bool
+	downEpoch uint64
 
 	// Packet-lifecycle tracing (nil when telemetry is disabled).
 	trace   *obs.Tracer
@@ -44,10 +51,13 @@ type Channel struct {
 	PacketsSent uint64
 	// PacketsLost counts frames corrupted in flight by the loss model.
 	PacketsLost uint64
+	// PacketsDownDrops counts frames dropped because the link was (or
+	// went) down while they were on the wire.
+	PacketsDownDrops uint64
 }
 
 // NewChannel builds a channel delivering to dst's port dstPort at rate
-// bits/second with the given propagation delay.
+// bits/second with the given propagation delay.  Channels start up.
 func NewChannel(sim *Sim, rate int64, delay Time, dst Receiver, dstPort int) *Channel {
 	if rate <= 0 {
 		panic(fmt.Sprintf("netsim: channel rate %d must be positive", rate))
@@ -62,8 +72,16 @@ func NewChannel(sim *Sim, rate int64, delay Time, dst Receiver, dstPort int) *Ch
 func (c *Channel) Rate() int64 { return c.rate }
 
 // RateBytes returns the channel capacity in bytes per second, the unit
-// the TPP memory map exposes ([Link:Capacity]).
-func (c *Channel) RateBytes() uint32 { return uint32(c.rate / 8) }
+// the TPP memory map exposes ([Link:Capacity]).  The register is 32
+// bits wide, so capacities beyond ~34.4 Gb/s saturate at MaxUint32
+// instead of wrapping around.
+func (c *Channel) RateBytes() uint32 {
+	bytesPerSec := c.rate / 8
+	if bytesPerSec > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(bytesPerSec)
+}
 
 // Delay returns the propagation delay.
 func (c *Channel) Delay() Time { return c.delay }
@@ -76,12 +94,30 @@ func (c *Channel) SetOnIdle(fn func()) { c.onIdle = fn }
 // probability p, using its own deterministic random source — the
 // failure-injection knob for robustness tests ("TPPs are therefore
 // subject to congestion", and on real links to corruption too).
+// p covers the closed interval [0, 1]: p == 1 is a total blackout.
 func (c *Channel) SetLoss(p float64, seed int64) {
-	if p < 0 || p >= 1 {
-		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1)", p))
+	c.loss = NewBernoulli(p, seed)
+}
+
+// SetLossModel installs an arbitrary loss model (nil restores lossless
+// operation); see Bernoulli and GilbertElliott.
+func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
+
+// Up reports whether the link is up.
+func (c *Channel) Up() bool { return !c.down }
+
+// SetUp raises or severs the link.  Taking the link down drops every
+// frame currently in flight and every frame transmitted while down;
+// the transmitter keeps serializing (so the owner's queue drains and
+// recovery needs no special kick), but nothing reaches the far end.
+func (c *Channel) SetUp(up bool) {
+	if up == !c.down {
+		return
 	}
-	c.lossRate = p
-	c.lossRand = rand.New(rand.NewSource(seed))
+	c.down = !up
+	if c.down {
+		c.downEpoch++
+	}
 }
 
 // SetTrace attaches the packet-lifecycle tracer; id identifies this
@@ -128,26 +164,39 @@ func (c *Channel) Send(pkt *core.Packet) Time {
 			c.onIdle()
 		}
 	})
-	if c.lossRate > 0 && c.lossRand.Float64() < c.lossRate {
-		// The frame occupies the wire but arrives corrupted and is
-		// discarded by the receiver's FCS check.
-		c.PacketsLost++
-		if c.trace != nil {
-			c.sim.At(done+c.delay, func() {
-				c.trace.Record(obs.SpanEvent{
-					At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
-					Stage: obs.StageLinkLoss, A: uint64(wire),
-				})
-			})
-		}
-		return done
-	}
+
+	// The frame's fate is decided now (loss models are sampled in
+	// transmission order, keeping runs seed-replayable), but counted
+	// and recorded when the last bit would have arrived.  A Tracer
+	// records through a nil receiver as a no-op, so none of the
+	// arrival paths need a nil guard.
+	downAtSend := c.down
+	epoch := c.downEpoch
+	lost := !downAtSend && c.loss != nil && c.loss.Lost()
 	c.sim.At(done+c.delay, func() {
-		c.trace.Record(obs.SpanEvent{
-			At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
-			Stage: obs.StageLinkRx, A: uint64(c.dstPort), B: uint64(wire),
-		})
-		c.dst.Receive(pkt, c.dstPort)
+		switch {
+		case downAtSend, c.down, c.downEpoch != epoch:
+			// Sent into, or overtaken by, a dead link.
+			c.PacketsDownDrops++
+			c.trace.Record(obs.SpanEvent{
+				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+				Stage: obs.StageLinkDown, A: uint64(wire),
+			})
+		case lost:
+			// The frame occupied the wire but arrives corrupted and
+			// is discarded by the receiver's FCS check.
+			c.PacketsLost++
+			c.trace.Record(obs.SpanEvent{
+				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+				Stage: obs.StageLinkLoss, A: uint64(wire),
+			})
+		default:
+			c.trace.Record(obs.SpanEvent{
+				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+				Stage: obs.StageLinkRx, A: uint64(c.dstPort), B: uint64(wire),
+			})
+			c.dst.Receive(pkt, c.dstPort)
+		}
 	})
 	return done
 }

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRateBytesSaturates guards the [Link:Capacity] register against
+// 32-bit wraparound: links at or beyond ~34.4 Gb/s must read as
+// MaxUint32 bytes/sec, not as garbage that seeds nonsense fair-share
+// rates in rcp.InitRateRegisters.
+func TestRateBytesSaturates(t *testing.T) {
+	s := New(1)
+	cases := []struct {
+		bps  int64
+		want uint32
+	}{
+		{10_000_000, 1_250_000},              // 10 Mb/s, exact
+		{1_000_000_000, 125_000_000},         // 1 Gb/s, exact
+		{34_359_738_360, math.MaxUint32},     // exactly 2^32 bytes/s
+		{40_000_000_000, math.MaxUint32},     // 40 Gb/s wrapped before
+		{100_000_000_000, math.MaxUint32},    // 100 Gb/s
+		{34_359_738_352, math.MaxUint32 - 1}, // just below the limit
+	}
+	for _, c := range cases {
+		ch := NewChannel(s, c.bps, 0, &sink{sim: s}, 0)
+		if got := ch.RateBytes(); got != c.want {
+			t.Errorf("RateBytes(%d bps) = %d, want %d", c.bps, got, c.want)
+		}
+	}
+}
+
+// TestChannelFullLoss exercises SetLoss(1): every frame occupies the
+// wire but none arrives — the blackout case fault plans rely on.
+func TestChannelFullLoss(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 1_000_000_000, 0, k, 0)
+	ch.SetLoss(1, 3)
+	for i := 0; i < 50; i++ {
+		at := Time(i) * Millisecond
+		s.At(at, func() { ch.Send(mkPacket(100)) })
+	}
+	s.Run()
+	if len(k.pkts) != 0 {
+		t.Fatalf("blackout delivered %d frames", len(k.pkts))
+	}
+	if ch.PacketsLost != 50 {
+		t.Fatalf("PacketsLost = %d, want 50", ch.PacketsLost)
+	}
+}
+
+// TestTracelessLossyChannel guards the nil-tracer harmonization: a
+// channel with loss but no tracer must not panic on any of the three
+// arrival paths (delivered, corrupted, link down).
+func TestTracelessLossyChannel(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 1_000_000_000, Microsecond, k, 0)
+	ch.SetLoss(0.5, 11)
+	for i := 0; i < 200; i++ {
+		at := Time(i) * Millisecond
+		s.At(at, func() { ch.Send(mkPacket(64)) })
+	}
+	s.At(150*Millisecond, func() { ch.SetUp(false) })
+	s.At(170*Millisecond, func() { ch.SetUp(true) })
+	s.Run() // must not panic
+	if got := int(ch.PacketsLost+ch.PacketsDownDrops) + len(k.pkts); got != 200 {
+		t.Fatalf("accounting: lost=%d down=%d delivered=%d, want 200 total",
+			ch.PacketsLost, ch.PacketsDownDrops, len(k.pkts))
+	}
+}
+
+// TestChannelDownDropsInFlightAndFuture pins the link-down contract:
+// frames in flight when the link fails are dropped, frames sent while
+// down are dropped, and frames sent after recovery arrive.
+func TestChannelDownDropsInFlightAndFuture(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	// 1 Gb/s, 1 ms propagation: a 100-byte frame serializes in 800 ns
+	// and then spends a full millisecond in flight.
+	ch := NewChannel(s, 1_000_000_000, Millisecond, k, 0)
+
+	s.At(0, func() { ch.Send(mkPacket(100)) })               // in flight at cut
+	s.At(500*Microsecond, func() { ch.SetUp(false) })        // cut mid-flight
+	s.At(600*Microsecond, func() { ch.Send(mkPacket(100)) }) // sent while down
+	s.At(2*Millisecond, func() { ch.SetUp(true) })
+	s.At(3*Millisecond, func() { ch.Send(mkPacket(100)) }) // after recovery
+	s.Run()
+
+	if len(k.pkts) != 1 {
+		t.Fatalf("delivered %d frames, want 1 (post-recovery only)", len(k.pkts))
+	}
+	if ch.PacketsDownDrops != 2 {
+		t.Fatalf("PacketsDownDrops = %d, want 2", ch.PacketsDownDrops)
+	}
+	if !ch.Up() {
+		t.Fatal("link should be up after recovery")
+	}
+}
+
+// TestChannelFlapKeepsTransmitterDraining: while down the transmitter
+// still serializes (OnIdle keeps firing), so a queue feeding the
+// channel drains rather than wedging — recovery then needs no special
+// kick.
+func TestChannelFlapKeepsTransmitterDraining(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 1_000_000_000, 0, k, 0)
+	ch.SetUp(false)
+
+	queue := 10
+	var pump func()
+	pump = func() {
+		if queue == 0 {
+			return
+		}
+		queue--
+		ch.Send(mkPacket(1000))
+	}
+	ch.SetOnIdle(pump)
+	s.At(0, pump)
+	s.Run()
+	if queue != 0 {
+		t.Fatalf("transmitter wedged with %d frames queued", queue)
+	}
+	if len(k.pkts) != 0 {
+		t.Fatalf("down link delivered %d frames", len(k.pkts))
+	}
+}
+
+// TestChannelDownRecordsSpan: the link-down drop is visible in the
+// span stream as StageLinkDown.
+func TestChannelDownRecordsSpan(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 1_000_000_000, 0, k, 0)
+	tr := obs.NewTracer(64)
+	ch.SetTrace(tr, 9)
+	ch.SetUp(false)
+	s.At(0, func() { ch.Send(mkPacket(100)) })
+	s.Run()
+	var downs int
+	for _, ev := range tr.Events() {
+		if ev.Stage == obs.StageLinkDown && ev.Node == 9 {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("StageLinkDown events = %d, want 1", downs)
+	}
+}
+
+// TestGilbertElliottBurstiness: with a sticky Bad state the model must
+// produce longer loss runs than Bernoulli loss of the same average
+// rate, and must replay exactly for a given seed.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	run := func(seed int64) (lostTotal int, maxRun int) {
+		ge := NewGilbertElliott(0.01, 0.1, 0, 1, seed)
+		cur := 0
+		for i := 0; i < 20_000; i++ {
+			if ge.Lost() {
+				lostTotal++
+				cur++
+				if cur > maxRun {
+					maxRun = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		return
+	}
+	lost1, max1 := run(42)
+	lost2, max2 := run(42)
+	if lost1 != lost2 || max1 != max2 {
+		t.Fatal("Gilbert-Elliott pattern not seed-replayable")
+	}
+	if lost1 == 0 {
+		t.Fatal("no losses produced")
+	}
+	// Mean bad-state dwell is 1/0.1 = 10 frames; bursts well beyond a
+	// Bernoulli process of the same mean rate must appear.
+	if max1 < 5 {
+		t.Fatalf("max loss run = %d, expected bursty (>= 5)", max1)
+	}
+}
+
+// TestGilbertElliottOnChannel wires the bursty model into a channel
+// and checks loss accounting stays exact.
+func TestGilbertElliottOnChannel(t *testing.T) {
+	s := New(1)
+	k := &sink{sim: s}
+	ch := NewChannel(s, 1_000_000_000, 0, k, 0)
+	ch.SetLossModel(NewGilbertElliott(0.05, 0.2, 0.001, 0.9, 17))
+	const frames = 2000
+	for i := 0; i < frames; i++ {
+		at := Time(i) * Microsecond * 10
+		s.At(at, func() { ch.Send(mkPacket(100)) })
+	}
+	s.Run()
+	if ch.PacketsLost == 0 {
+		t.Fatal("bursty model produced no loss")
+	}
+	if int(ch.PacketsLost)+len(k.pkts) != frames {
+		t.Fatalf("accounting: lost=%d delivered=%d", ch.PacketsLost, len(k.pkts))
+	}
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LossModel decides, frame by frame, whether a transmission is
+// corrupted in flight.  Models own their random source so loss
+// patterns replay exactly for a given seed regardless of what else the
+// simulation draws from the shared rng.
+type LossModel interface {
+	// Lost reports whether the next frame is corrupted.  Called once
+	// per frame, in transmission order.
+	Lost() bool
+}
+
+// Bernoulli drops each frame independently with probability P — the
+// memoryless corruption model.
+type Bernoulli struct {
+	p   float64
+	rnd *rand.Rand
+}
+
+// NewBernoulli builds the independent-loss model.  p must lie in the
+// closed interval [0, 1]: p == 1 is the total-blackout case fault
+// injection uses.
+func NewBernoulli(p float64, seed int64) *Bernoulli {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1]", p))
+	}
+	return &Bernoulli{p: p, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Lost implements LossModel.
+func (b *Bernoulli) Lost() bool {
+	if b.p <= 0 {
+		return false
+	}
+	if b.p >= 1 {
+		return true
+	}
+	return b.rnd.Float64() < b.p
+}
+
+// GilbertElliott is the classic two-state bursty loss model: the
+// channel flips between a Good and a Bad state with per-frame
+// transition probabilities, and each state drops frames with its own
+// probability.  Long stays in the Bad state produce the loss bursts
+// that Bernoulli loss cannot, which is what makes probe retry (rather
+// than per-interval resampling) necessary at the end host.
+type GilbertElliott struct {
+	pGoodBad float64 // P(good -> bad) per frame
+	pBadGood float64 // P(bad -> good) per frame
+	lossGood float64 // drop probability while good
+	lossBad  float64 // drop probability while bad
+	bad      bool
+	rnd      *rand.Rand
+}
+
+// NewGilbertElliott builds the bursty model.  All four probabilities
+// must lie in [0, 1]; the channel starts in the Good state.
+func NewGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64, seed int64) *GilbertElliott {
+	for _, p := range []float64{pGoodBad, pBadGood, lossGood, lossBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("netsim: Gilbert-Elliott probability %v out of [0,1]", p))
+		}
+	}
+	return &GilbertElliott{
+		pGoodBad: pGoodBad, pBadGood: pBadGood,
+		lossGood: lossGood, lossBad: lossBad,
+		rnd: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Bad reports whether the channel is currently in the Bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// Lost implements LossModel: advance the state machine one frame, then
+// sample the current state's drop probability.
+func (g *GilbertElliott) Lost() bool {
+	if g.bad {
+		if g.rnd.Float64() < g.pBadGood {
+			g.bad = false
+		}
+	} else {
+		if g.rnd.Float64() < g.pGoodBad {
+			g.bad = true
+		}
+	}
+	p := g.lossGood
+	if g.bad {
+		p = g.lossBad
+	}
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	}
+	return g.rnd.Float64() < p
+}

@@ -51,7 +51,11 @@ func TestChannelLossZeroByDefault(t *testing.T) {
 func TestChannelLossValidation(t *testing.T) {
 	s := New(1)
 	ch := NewChannel(s, 1000, 0, &sink{sim: s}, 0)
-	for _, p := range []float64{-0.1, 1.0, 2} {
+	// The closed interval [0, 1] is accepted: p == 1 is the blackout
+	// case fault injection uses.
+	ch.SetLoss(0, 1)
+	ch.SetLoss(1, 1)
+	for _, p := range []float64{-0.1, 1.01, 2} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -62,24 +62,38 @@ const (
 	// StageLinkRx: the last bit arrived at the far end.  A=receiver
 	// port, B=wire bytes.  Node is the link id.
 	StageLinkRx
+	// StageLinkDown: the frame was dropped because the link was (or
+	// went) down while it was in flight.  A=wire bytes.  Node is the
+	// link id.
+	StageLinkDown
+	// StageFaultInject: the fault injector applied a fault.  UID is 0
+	// (no packet); Node is the target's link or switch id; A encodes
+	// the fault kind (internal/faults.Kind).
+	StageFaultInject
+	// StageFaultRecover: the fault injector cleared a fault.  Fields
+	// as for StageFaultInject.
+	StageFaultRecover
 )
 
 var stageNames = [...]string{
-	StageParser:     "parser",
-	StageLookupTCAM: "lookup-tcam",
-	StageLookupL3:   "lookup-l3",
-	StageLookupL2:   "lookup-l2",
-	StageTCPU:       "tcpu",
-	StageMemMgr:     "memmgr",
-	StageEnqueue:    "enqueue",
-	StageDrop:       "drop",
-	StageSched:      "sched",
-	StageTTLDrop:    "ttl-drop",
-	StageBlackhole:  "blackhole",
-	StageStrip:      "tpp-strip",
-	StageLinkTx:     "link-tx",
-	StageLinkLoss:   "link-loss",
-	StageLinkRx:     "link-rx",
+	StageParser:       "parser",
+	StageLookupTCAM:   "lookup-tcam",
+	StageLookupL3:     "lookup-l3",
+	StageLookupL2:     "lookup-l2",
+	StageTCPU:         "tcpu",
+	StageMemMgr:       "memmgr",
+	StageEnqueue:      "enqueue",
+	StageDrop:         "drop",
+	StageSched:        "sched",
+	StageTTLDrop:      "ttl-drop",
+	StageBlackhole:    "blackhole",
+	StageStrip:        "tpp-strip",
+	StageLinkTx:       "link-tx",
+	StageLinkLoss:     "link-loss",
+	StageLinkRx:       "link-rx",
+	StageLinkDown:     "link-down",
+	StageFaultInject:  "fault-inject",
+	StageFaultRecover: "fault-recover",
 }
 
 // String names the stage.

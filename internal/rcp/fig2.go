@@ -6,6 +6,7 @@ import (
 	"repro/internal/asic"
 	"repro/internal/core"
 	"repro/internal/endhost"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/topo"
@@ -36,6 +37,11 @@ type Fig2Config struct {
 	// (both data and probes), for robustness experiments; zero means
 	// lossless.
 	LossRate float64
+	// Faults, when non-nil, is scheduled on an injector with the
+	// bottleneck link registered as "bottleneck" (both directions) and
+	// the two switches as "a" and "b".  Event times are relative to the
+	// run (they are scheduled before PrimeL2 settles, at sim time 0).
+	Faults *faults.Plan
 	// Metrics, when non-nil, registers the switches' dataplane metrics
 	// and each controller's control-loop metrics (rcp/flow<i>/...).
 	Metrics *obs.Registry
@@ -80,9 +86,18 @@ func RunFigure2(cfg Fig2Config) Fig2Result {
 	b := n.AddSwitch(swCfg)
 	bottleneck := topo.Mbps(cfg.BottleneckMbps, 10*netsim.Millisecond)
 	edge := topo.Mbps(cfg.EdgeMbps, netsim.Millisecond)
-	aPort, _ := n.LinkSwitches(a, b, bottleneck)
+	aPort, bPort := n.LinkSwitches(a, b, bottleneck)
 	if cfg.LossRate > 0 {
 		a.Port(aPort).Channel().SetLoss(cfg.LossRate, cfg.Seed+100)
+	}
+	if cfg.Faults != nil {
+		inj := faults.NewInjector(sim, nil)
+		inj.RegisterLink("bottleneck", a.Port(aPort).Channel(), b.Port(bPort).Channel())
+		inj.RegisterSwitch("a", a)
+		inj.RegisterSwitch("b", b)
+		if err := inj.Schedule(*cfg.Faults); err != nil {
+			panic(fmt.Sprintf("rcp: bad fault plan: %v", err))
+		}
 	}
 
 	flows := len(cfg.FlowStarts)

@@ -36,6 +36,11 @@ const collectWords = 4
 // 5-7" hops (§2.1).
 const MaxHops = 7
 
+// degradeThreshold is how many consecutive probe deadlines the
+// controller tolerates before it assumes the path itself changed (not
+// just a lost frame) and falls back to capacity re-discovery.
+const degradeThreshold = 4
+
 // InitRateRegisters performs the control-plane initialization of §2.2
 // footnote 3: "a control plane program initializes each link's fair
 // share rate to its capacity."
@@ -68,12 +73,15 @@ type StarController struct {
 	caps     []float64 // per-hop link capacity, discovered once
 	qAvg     []float64 // per-hop EWMA of sampled queue sizes
 	haveCaps bool
+	missed   int // consecutive probe deadlines missed
 
 	ticker *netsim.Ticker
 
 	// Telemetry for tests and experiments.
 	Collects uint64 // phase-1 echoes processed
 	Updates  uint64 // phase-3 TPPs sent
+	Timeouts uint64 // probes that missed their deadline
+	Reinits  uint64 // rate registers re-seeded after reading zero
 	LastRate float64
 
 	// Registry handles (nil unless EnableMetrics was called).
@@ -128,6 +136,33 @@ func (c *StarController) tick() {
 	c.probeCollect()
 }
 
+// probeCfg bounds every control probe's lifetime so the pending set
+// stays bounded on a faulty network.  The deadline must exceed the
+// worst-case echo RTT — propagation plus a full queue, i.e. the RTT
+// scale D — or healthy probes get reaped just before their echoes;
+// twice D leaves comfortable slack while still reaping within a few
+// control periods.
+func (c *StarController) probeCfg() endhost.ProbeConfig {
+	timeout := 2 * c.params.D
+	if m := 2 * c.params.T; m > timeout {
+		timeout = m
+	}
+	return endhost.ProbeConfig{Timeout: timeout}
+}
+
+// onMiss degrades gracefully: the flow holds its last-known rate (no
+// sample means no evidence the fair share moved), and after
+// degradeThreshold consecutive misses the controller re-enters
+// discovery so recovery starts from scratch if the path changed.
+func (c *StarController) onMiss() {
+	c.Timeouts++
+	c.missed++
+	if c.missed >= degradeThreshold && c.haveCaps {
+		c.haveCaps = false
+		c.caps = c.caps[:0]
+	}
+}
+
 // probeCapacities runs the one-time discovery of per-hop capacities
 // (link capacities are static, so they need not burden the steady-state
 // probe, keeping it within the 5-instruction device limit).
@@ -136,10 +171,11 @@ func (c *StarController) probeCapacities() {
 	if err != nil {
 		panic(err)
 	}
-	c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+	c.prober.ProbeCfg(c.dstMAC, c.dstIP, tpp, c.probeCfg(), func(e *core.TPP) {
 		if c.haveCaps {
 			return
 		}
+		c.missed = 0
 		hops := int(e.Ptr) / 4 / 2
 		c.caps = c.caps[:0]
 		for i := 0; i < hops; i++ {
@@ -147,7 +183,7 @@ func (c *StarController) probeCapacities() {
 		}
 		c.qAvg = make([]float64, hops)
 		c.haveCaps = len(c.caps) > 0
-	})
+	}, c.onMiss)
 }
 
 // probeCollect is phase 1; the echo handler runs phases 2 and 3.
@@ -156,7 +192,7 @@ func (c *StarController) probeCollect() {
 	if err != nil {
 		panic(err)
 	}
-	c.prober.Probe(c.dstMAC, c.dstIP, tpp, c.onCollect)
+	c.prober.ProbeCfg(c.dstMAC, c.dstIP, tpp, c.probeCfg(), c.onCollect, c.onMiss)
 }
 
 // hopSample is one hop's record from a collect echo.
@@ -189,7 +225,20 @@ func (c *StarController) onCollect(e *core.TPP) {
 		return
 	}
 	c.Collects++
+	c.missed = 0
 	c.mCollects.Inc()
+
+	// A zero rate register means the switch lost its RCP state (reboot,
+	// reset): re-run the footnote-3 initialization for that hop by
+	// seeding the register with the link capacity, and use the capacity
+	// as this interval's reading so the flow doesn't stall at zero.
+	for i := range samples {
+		if samples[i].RateReg == 0 {
+			samples[i].RateReg = c.caps[i]
+			c.sendUpdate(samples[i].SwitchID, c.caps[i])
+			c.Reinits++
+		}
+	}
 
 	// Phase 2: compute R_link for every hop from the collected
 	// samples; the flow's rate is the minimum fair share read from
