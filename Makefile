@@ -5,7 +5,11 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race check bench bench-json experiments clean
+.PHONY: all build vet lint test race check fuzz bench bench-json experiments clean
+
+# Packages whose behavior must be a pure function of inputs and seeds;
+# the determinism analyzers (notime, norand, maporder) gate them.
+LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults
 
 all: check
 
@@ -14,6 +18,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs vet plus the repository's own determinism analyzers (see
+# tools/analyzers) over the simulation core.
+lint: vet
+	$(GO) run ./tools/analyzers/cmd/determinismlint $(LINT_PKGS)
 
 test:
 	$(GO) test ./...
@@ -24,6 +33,11 @@ race:
 # check is the tier-1 gate: vet, build, and the full test suite under
 # the race detector.
 check: vet build race
+
+# fuzz smoke-tests the verifier's soundness property: verified programs
+# never trip a dynamic fault.
+fuzz:
+	$(GO) test -fuzz=FuzzVerify -fuzztime=10s ./internal/verify
 
 # bench runs every benchmark once (BENCHTIME=1x) as a smoke test; set
 # BENCHTIME=2s BENCH=PipelineTelemetry for real measurements.

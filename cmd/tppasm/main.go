@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	tppasm asm [file]        assemble TPP assembly (stdin default) to hex
-//	tppasm disasm [file]     disassemble hex wire format back to assembly
-//	tppasm run [file]        assemble, then execute against a standalone
-//	                         switch model, printing the packet memory
-//	tppasm symbols           print the [Namespace:Statistic] symbol table
+//	tppasm asm [-verify] [file]   assemble TPP assembly (stdin default)
+//	                              to hex; -verify statically checks the
+//	                              program first and refuses to emit one
+//	                              that carries error diagnostics
+//	tppasm disasm [file]          disassemble hex wire format back to
+//	                              assembly
+//	tppasm run [file]             assemble, then execute against a
+//	                              standalone switch model, printing the
+//	                              packet memory
+//	tppasm symbols                print the [Namespace:Statistic] symbol
+//	                              table
 package main
 
 import (
 	"encoding/hex"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/tcpu"
 	"repro/internal/topo"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -65,7 +73,23 @@ func readInput(args []string) (string, error) {
 	return string(b), err
 }
 
+// inputName returns the display name for diagnostics.
+func inputName(args []string) string {
+	if len(args) == 0 || args[0] == "-" {
+		return "<stdin>"
+	}
+	return args[0]
+}
+
 func cmdAsm(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("asm", flag.ContinueOnError)
+	doVerify := fs.Bool("verify", false, "statically verify the program; refuse to emit on errors")
+	maxIns := fs.Int("max-instructions", 0, "device instruction limit for -verify (0: paper default)")
+	ports := fs.Int("ports", 0, "device port count for -verify (0: don't check per-port bounds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	src, err := readInput(args)
 	if err != nil {
 		return err
@@ -73,6 +97,15 @@ func cmdAsm(args []string, w io.Writer) error {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return err
+	}
+	if *doVerify {
+		res := verify.Verify(p.TPP, verify.Config{MaxInstructions: *maxIns, Ports: *ports})
+		for _, d := range res.Diags {
+			printDiag(w, inputName(args), p, d)
+		}
+		if errs := res.Errors(); len(errs) != 0 {
+			return fmt.Errorf("verification failed: %d error(s)", len(errs))
+		}
 	}
 	wire := p.TPP.AppendTo(nil)
 	fmt.Fprintf(w, "# %d instructions, %d words of packet memory (%d pooled), %d bytes on the wire\n",
@@ -82,6 +115,17 @@ func cmdAsm(args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, hex.EncodeToString(wire))
 	return nil
+}
+
+// printDiag formats one verifier diagnostic with source-line
+// attribution: "file:line: error: [code] msg" when the instruction maps
+// back to a source line, the verifier's own "pc N" form otherwise.
+func printDiag(w io.Writer, name string, p *asm.Program, d verify.Diagnostic) {
+	if line := p.Line(d.PC); line > 0 {
+		fmt.Fprintf(w, "%s:%d: %s: [%s] %s\n", name, line, d.Severity, d.Code, d.Msg)
+		return
+	}
+	fmt.Fprintf(w, "%s: %s\n", name, d)
 }
 
 func cmdDisasm(args []string, w io.Writer) error {

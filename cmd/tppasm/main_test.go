@@ -113,3 +113,46 @@ func TestDispatchErrors(t *testing.T) {
 		t.Error("bad run program accepted")
 	}
 }
+
+func TestCmdAsmVerifyRejects(t *testing.T) {
+	// A POP into the read-only switch identification range must fail
+	// verification, name the offending source line, and return an
+	// error (non-zero exit).
+	file := writeTemp(t, `
+.mem 2
+PUSH [Queue:QueueSize]
+POP [Switch:SwitchID]
+`)
+	var b strings.Builder
+	err := dispatch("asm", []string{"-verify", file}, &b)
+	if err == nil {
+		t.Fatalf("verify accepted a read-only store; output:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	want := file + ":4: error:"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("diagnostic missing source attribution %q:\n%s", want, b.String())
+	}
+}
+
+func TestCmdAsmVerifyAccepts(t *testing.T) {
+	var b strings.Builder
+	if err := dispatch("asm", []string{"-verify", writeTemp(t, sampleProg)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# ins 0:") {
+		t.Fatalf("verified program not assembled:\n%s", b.String())
+	}
+}
+
+func TestCmdAsmVerifyDeviceLimit(t *testing.T) {
+	// -max-instructions tightens the device limit below the program
+	// length.
+	var b strings.Builder
+	err := dispatch("asm", []string{"-verify", "-max-instructions", "1", writeTemp(t, sampleProg)}, &b)
+	if err == nil {
+		t.Fatalf("2-instruction program passed a 1-instruction device limit:\n%s", b.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/tcam"
 	"repro/internal/tcpu"
+	"repro/internal/verify"
 )
 
 // Config parameterizes a switch.
@@ -38,6 +39,13 @@ type Config struct {
 	UtilGain float64
 	// TCPU configures the tiny CPU (instruction limit).
 	TCPU tcpu.Config
+	// Verify enables the paranoid parser: every TPP arriving on a
+	// trusted port is statically verified before execution, and
+	// programs with error-severity diagnostics are stripped instead
+	// of run.  Nil (the default) trusts end-hosts to pre-verify, as
+	// §3.5 assumes.  Zero-valued limits in the config are resolved
+	// against this switch's TCPU instruction limit and port count.
+	Verify *verify.Config
 	// L2AgeNs is the MAC table entry lifetime in nanoseconds.
 	L2AgeNs int64
 
@@ -108,6 +116,7 @@ type Switch struct {
 	packets      uint64 // packets switched
 	tppsExecuted uint64
 	tppsStripped uint64
+	tppsRejected uint64 // stripped by the paranoid verifier
 	ttlDrops     uint64
 	blackholes   uint64 // packets with no forwarding decision
 
@@ -137,6 +146,7 @@ type switchMetrics struct {
 	tppFaults     *obs.Counter
 	tppOverBudget *obs.Counter
 	tppsStripped  *obs.Counter
+	tppsRejected  *obs.Counter
 	ttlDrops      *obs.Counter
 	blackholes    *obs.Counter
 	tcpuCycles    *obs.Histogram // modeled cycles per TPP execution
@@ -151,6 +161,18 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		// Per-instruction TCPU spans ride along with lifecycle
 		// tracing so -trace output can audit the §3.3 budget.
 		cfg.TCPU.RecordSpans = true
+	}
+	if cfg.Verify != nil {
+		// Resolve the verifier against this device's actual limits so
+		// static acceptance matches what the TCPU will enforce.
+		v := *cfg.Verify
+		if v.MaxInstructions <= 0 {
+			v.MaxInstructions = cfg.TCPU.MaxInstructions
+		}
+		if v.Ports <= 0 {
+			v.Ports = cfg.Ports
+		}
+		cfg.Verify = &v
 	}
 	s := &Switch{
 		sim:    sim,
@@ -169,6 +191,7 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		tppFaults:     reg.Counter(fmt.Sprintf("switch/%d/tpp_faults", cfg.ID)),
 		tppOverBudget: reg.Counter(fmt.Sprintf("switch/%d/tcpu_over_budget", cfg.ID)),
 		tppsStripped:  reg.Counter(fmt.Sprintf("switch/%d/tpps_stripped", cfg.ID)),
+		tppsRejected:  reg.Counter(fmt.Sprintf("switch/%d/tpps_rejected", cfg.ID)),
 		ttlDrops:      reg.Counter(fmt.Sprintf("switch/%d/ttl_drops", cfg.ID)),
 		blackholes:    reg.Counter(fmt.Sprintf("switch/%d/blackholes", cfg.ID)),
 		tcpuCycles:    reg.Histogram(fmt.Sprintf("switch/%d/tcpu_cycles", cfg.ID)),
@@ -249,6 +272,9 @@ func (s *Switch) TPPsExecuted() uint64 { return s.tppsExecuted }
 // TPPsStripped returns how many TPPs were removed at untrusted ports.
 func (s *Switch) TPPsStripped() uint64 { return s.tppsStripped }
 
+// TPPsRejected returns how many TPPs the paranoid verifier stripped.
+func (s *Switch) TPPsRejected() uint64 { return s.tppsRejected }
+
 func (s *Switch) housekeeping() {
 	for _, p := range s.ports {
 		p.tick()
@@ -272,6 +298,21 @@ func (s *Switch) Receive(pkt *core.Packet, port int) {
 		s.m.tppsStripped.Inc()
 		if pkt == nil {
 			return // nothing remained to forward
+		}
+	}
+
+	// Paranoid parser: statically reject programs that would fault or
+	// overrun the cycle budget, stripping them before they reach the
+	// TCPU.
+	if pkt.TPP != nil && s.cfg.Verify != nil {
+		if res := verify.Verify(pkt.TPP, *s.cfg.Verify); !res.OK() {
+			s.span(pkt, obs.StageVerifyReject, uint64(port), uint64(len(res.Errors())))
+			pkt = stripTPP(pkt)
+			s.tppsRejected++
+			s.m.tppsRejected.Inc()
+			if pkt == nil {
+				return
+			}
 		}
 	}
 

@@ -11,6 +11,9 @@
 //	.hopsize N               per-hop bytes (hop mode)
 //	.def NAME VALUE          define $NAME for use as an immediate
 //	.init OFF V1 [V2 ...]    initialize packet memory words
+//	.ptr N                   initial stack pointer (stack mode) or hop
+//	                         counter (hop mode), in raw header bytes;
+//	                         overrides the computed pool offset
 //
 //	PUSH [Queue:QueueSize]
 //	POP  [SRAM:0x10]
@@ -35,6 +38,7 @@ package asm
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -48,6 +52,18 @@ type Program struct {
 	// PoolWords is the number of immediate-pool words placed at the
 	// front of packet memory (stack mode only).
 	PoolWords int
+	// Lines maps each instruction index to its 1-based source line, so
+	// verifier diagnostics can be attributed back to the source.
+	Lines []int
+}
+
+// Line returns the 1-based source line of instruction pc, or 0 when
+// unknown.
+func (p *Program) Line(pc int) int {
+	if pc < 0 || pc >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[pc]
 }
 
 // Assemble compiles TPP assembly source into a ready-to-send TPP.
@@ -62,6 +78,7 @@ func Assemble(src string) (*Program, error) {
 		if line == "" {
 			continue
 		}
+		a.curLine = lineno + 1
 		if err := a.statement(line); err != nil {
 			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
 		}
@@ -80,8 +97,9 @@ func MustAssemble(src string) *Program {
 }
 
 type pendingIns struct {
-	op core.Opcode
-	a  mem.Addr
+	op   core.Opcode
+	a    mem.Addr
+	line int // 1-based source line
 	// Exactly one of the following B-operand shapes is used.
 	hasPkt bool
 	pkt    uint16   // explicit packet word (or hop offset)
@@ -94,6 +112,9 @@ type assembler struct {
 	mode     core.AddrMode
 	memWords int
 	hopLen   int
+	ptr      int
+	ptrSet   bool
+	curLine  int
 	defs     map[string]uint32
 	init     map[int]uint32
 	ins      []pendingIns
@@ -143,6 +164,16 @@ func (a *assembler) directive(line string) error {
 			return fmt.Errorf(".hopsize must be 4-byte aligned")
 		}
 		a.hopLen = int(n)
+	case ".ptr":
+		n, err := parseInt(fields, 1)
+		if err != nil {
+			return err
+		}
+		if n%4 != 0 {
+			return fmt.Errorf(".ptr must be 4-byte aligned")
+		}
+		a.ptr = int(n)
+		a.ptrSet = true
 	case ".def":
 		if len(fields) != 3 {
 			return fmt.Errorf(".def wants NAME VALUE")
@@ -218,7 +249,7 @@ func (a *assembler) instruction(line string) error {
 		if len(operands) != 0 {
 			return fmt.Errorf("NOP takes no operands")
 		}
-		a.ins = append(a.ins, pendingIns{op: opcode})
+		a.ins = append(a.ins, pendingIns{op: opcode, line: a.curLine})
 		return nil
 
 	case core.OpPUSH, core.OpPOP:
@@ -229,7 +260,7 @@ func (a *assembler) instruction(line string) error {
 		if err != nil {
 			return err
 		}
-		a.ins = append(a.ins, pendingIns{op: opcode, a: addr})
+		a.ins = append(a.ins, pendingIns{op: opcode, a: addr, line: a.curLine})
 		return nil
 
 	case core.OpLOAD, core.OpSTORE, core.OpADD, core.OpSUB, core.OpMAX:
@@ -247,7 +278,7 @@ func (a *assembler) instruction(line string) error {
 		if err != nil {
 			return err
 		}
-		a.ins = append(a.ins, pendingIns{op: opcode, a: addr, hasPkt: true, pkt: pkt})
+		a.ins = append(a.ins, pendingIns{op: opcode, a: addr, hasPkt: true, pkt: pkt, line: a.curLine})
 		return nil
 
 	case core.OpCSTORE, core.OpCEXEC:
@@ -264,7 +295,7 @@ func (a *assembler) instruction(line string) error {
 			if err != nil {
 				return err
 			}
-			a.ins = append(a.ins, pendingIns{op: opcode, a: addr, hasPkt: true, pkt: pkt})
+			a.ins = append(a.ins, pendingIns{op: opcode, a: addr, hasPkt: true, pkt: pkt, line: a.curLine})
 			return nil
 		case 3: // immediate form: pool the two values
 			if a.mode != core.AddrStack {
@@ -278,7 +309,7 @@ func (a *assembler) instruction(line string) error {
 			if err != nil {
 				return err
 			}
-			p := pendingIns{op: opcode, a: addr, imms: []uint32{v1, v2}}
+			p := pendingIns{op: opcode, a: addr, imms: []uint32{v1, v2}, line: a.curLine}
 			if opcode == core.OpCSTORE {
 				p.extra = 1 // result slot for the old value
 			}
@@ -400,12 +431,20 @@ func (a *assembler) finish() (*Program, error) {
 	} else {
 		tpp.Ptr = uint16(pool * 4) // SP starts after the pool
 	}
+	if a.ptrSet {
+		tpp.Ptr = uint16(a.ptr)
+	}
 	for _, p := range a.ins {
 		for k, v := range p.imms {
 			tpp.SetWord(p.poolAt+k, v)
 		}
 	}
-	for off, v := range a.init {
+	inits := make([]int, 0, len(a.init))
+	for off := range a.init { //lint:allow maporder (sorted below)
+		inits = append(inits, off)
+	}
+	sort.Ints(inits) // deterministic error selection on overlapping .init
+	for _, off := range inits {
 		w := off
 		if a.mode == core.AddrStack {
 			w += pool
@@ -413,10 +452,14 @@ func (a *assembler) finish() (*Program, error) {
 		if !tpp.InRange(w) {
 			return nil, fmt.Errorf("asm: .init word %d outside packet memory", off)
 		}
-		tpp.SetWord(w, v)
+		tpp.SetWord(w, a.init[off])
 	}
 	if err := tpp.Validate(); err != nil {
 		return nil, fmt.Errorf("asm: %w", err)
 	}
-	return &Program{TPP: tpp, PoolWords: pool}, nil
+	lines := make([]int, len(a.ins))
+	for i, p := range a.ins {
+		lines[i] = p.line
+	}
+	return &Program{TPP: tpp, PoolWords: pool, Lines: lines}, nil
 }

@@ -20,6 +20,9 @@ func Disassemble(t *core.TPP) string {
 	if t.Mode == core.AddrHop {
 		fmt.Fprintf(&b, ".hopsize %d\n", t.HopLen)
 	}
+	if t.Ptr != 0 {
+		fmt.Fprintf(&b, ".ptr %d\n", t.Ptr)
+	}
 	for w := 0; w < t.MemWords(); w++ {
 		if v := t.Word(w); v != 0 {
 			fmt.Fprintf(&b, ".init %d %#x\n", w, v)

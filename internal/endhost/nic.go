@@ -9,6 +9,8 @@ package endhost
 import (
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 // DefaultNICQueue is the transmit queue capacity in packets.
@@ -21,10 +23,19 @@ type NIC struct {
 	queue []*core.Packet
 	max   int
 
+	verifier  *verify.Config
+	mRejected *obs.Counter
+
 	// Drops counts transmit-queue tail drops.
 	Drops uint64
 	// Sent counts packets handed to the channel.
 	Sent uint64
+	// Rejected counts TPP packets the static verifier refused to
+	// inject.
+	Rejected uint64
+	// LastVerify is the verification result of the most recent
+	// TPP-bearing Send, for diagnostics and tests.
+	LastVerify verify.Result
 }
 
 // NewNIC builds a NIC with a transmit queue of max packets (0 selects
@@ -53,9 +64,29 @@ func (n *NIC) SetCapacity(max int) {
 // QueueLen returns the number of packets waiting to transmit.
 func (n *NIC) QueueLen() int { return len(n.queue) }
 
+// SetVerifier installs the end-host sanity check of §3.5: every
+// TPP-bearing packet is statically verified at injection time and
+// rejected (Send returns false) when the program carries
+// error-severity diagnostics, so provably faulting or over-budget
+// programs never enter the fabric.  rejected, when non-nil, is
+// incremented per rejection (wire it to an obs.Registry counter).
+// A nil cfg disables verification (the default).
+func (n *NIC) SetVerifier(cfg *verify.Config, rejected *obs.Counter) {
+	n.verifier = cfg
+	n.mRejected = rejected
+}
+
 // Send queues the packet for transmission, returning false on a tail
-// drop.
+// drop or a verifier rejection.
 func (n *NIC) Send(pkt *core.Packet) bool {
+	if n.verifier != nil && pkt.TPP != nil {
+		n.LastVerify = verify.Verify(pkt.TPP, *n.verifier)
+		if !n.LastVerify.OK() {
+			n.Rejected++
+			n.mRejected.Inc()
+			return false
+		}
+	}
 	if len(n.queue) >= n.max {
 		n.Drops++
 		return false

@@ -1,0 +1,81 @@
+package endhost
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+// The NIC's injection-time verifier (§3.5 end-host sanity check) must
+// refuse TPPs that carry error diagnostics, count the rejection, and
+// leave well-formed programs alone.
+func TestNICVerifierGate(t *testing.T) {
+	sim := netsim.New(1)
+	a, b := pair(sim, 8_000_000)
+	reg := obs.NewRegistry()
+	rejected := reg.Counter("host/a/tpp_rejected")
+	a.NIC.SetVerifier(&verify.Config{}, rejected)
+
+	tppPacket := func(tpp *core.TPP) *core.Packet {
+		return &core.Packet{
+			Eth: core.Ethernet{Dst: b.MAC, Src: a.MAC, Type: core.EtherTypeTPP},
+			TPP: tpp,
+			IP:  &core.IPv4{TTL: 64, Proto: core.ProtoUDP, Src: a.IP, Dst: b.IP},
+			UDP: &core.UDP{SrcPort: 1, DstPort: 9},
+		}
+	}
+
+	// A STORE into the read-only statistics range must be rejected at
+	// injection: Send returns false and nothing reaches the wire.
+	bad := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+		{Op: core.OpPOP, A: uint16(mem.SwitchBase)},
+	}, 2)
+	if a.Send(tppPacket(bad)) {
+		t.Fatal("NIC accepted a TPP that writes switch statistics")
+	}
+	if a.NIC.Rejected != 1 {
+		t.Fatalf("Rejected = %d", a.NIC.Rejected)
+	}
+	if rejected.Value() != 1 {
+		t.Fatalf("rejection metric = %d", rejected.Value())
+	}
+	if a.NIC.LastVerify.OK() {
+		t.Fatal("LastVerify reports OK for a rejected program")
+	}
+	sim.Run()
+	if b.Received != 0 {
+		t.Fatal("rejected TPP reached the peer")
+	}
+
+	// A clean probe sails through.
+	good := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+	}, 2)
+	if !a.Send(tppPacket(good)) {
+		t.Fatal("NIC rejected a verifiable TPP")
+	}
+	if !a.NIC.LastVerify.OK() {
+		t.Fatalf("LastVerify not OK: %v", a.NIC.LastVerify)
+	}
+	sim.Run()
+	if b.Received != 1 {
+		t.Fatalf("peer received %d packets", b.Received)
+	}
+
+	// Non-TPP traffic and a disabled verifier are unaffected.
+	if !a.Send(a.NewPacket(b.MAC, b.IP, 1, 2, 100)) {
+		t.Fatal("plain packet rejected")
+	}
+	a.NIC.SetVerifier(nil, nil)
+	if !a.Send(tppPacket(bad)) {
+		t.Fatal("disabled verifier still rejects")
+	}
+	if a.NIC.Rejected != 1 {
+		t.Fatalf("Rejected moved to %d with verifier off", a.NIC.Rejected)
+	}
+}

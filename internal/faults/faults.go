@@ -213,16 +213,24 @@ func (in *Injector) validate(ev Event) error {
 	default:
 		return fmt.Errorf("unknown fault kind %d", ev.Kind)
 	}
-	probs := map[string]float64{"P": ev.P}
+	// A slice, not a map: which out-of-range probability gets named in
+	// the error must not depend on map iteration order.
+	probs := []struct {
+		name string
+		p    float64
+	}{{"P", ev.P}}
 	if ev.Kind == LinkBurstyLoss {
-		probs = map[string]float64{
-			"PGoodBad": ev.PGoodBad, "PBadGood": ev.PBadGood,
-			"LossGood": ev.LossGood, "LossBad": ev.LossBad,
+		probs = []struct {
+			name string
+			p    float64
+		}{
+			{"PGoodBad", ev.PGoodBad}, {"PBadGood", ev.PBadGood},
+			{"LossGood", ev.LossGood}, {"LossBad", ev.LossBad},
 		}
 	}
-	for name, p := range probs {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("%s = %v out of [0,1]", name, p)
+	for _, pr := range probs {
+		if pr.p < 0 || pr.p > 1 {
+			return fmt.Errorf("%s = %v out of [0,1]", pr.name, pr.p)
 		}
 	}
 	return nil

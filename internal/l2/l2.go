@@ -69,7 +69,7 @@ func (t *Table) Flush() { clear(t.entries) }
 // Expire removes all entries stale at time now; switches run this
 // periodically from their housekeeping timer.
 func (t *Table) Expire(now int64) {
-	for mac, e := range t.entries {
+	for mac, e := range t.entries { //lint:allow maporder (pure deletion, order-free)
 		if now-e.learnedAt > t.age {
 			delete(t.entries, mac)
 		}

@@ -44,7 +44,7 @@ func (al *Allocator) Alloc(task string, words int) (Region, error) {
 		return Region{}, fmt.Errorf("mem: task %q already holds a region", task)
 	}
 	taken := make([]Region, 0, len(al.regions))
-	for _, r := range al.regions {
+	for _, r := range al.regions { //lint:allow maporder (sorted below)
 		taken = append(taken, r)
 	}
 	sort.Slice(taken, func(i, j int) bool { return taken[i].Base < taken[j].Base })
@@ -81,7 +81,7 @@ func (al *Allocator) Lookup(task string) (Region, bool) {
 // Tasks returns the names of all tasks holding regions, sorted.
 func (al *Allocator) Tasks() []string {
 	names := make([]string, 0, len(al.regions))
-	for n := range al.regions {
+	for n := range al.regions { //lint:allow maporder (sorted before return)
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -90,7 +90,7 @@ func (al *Allocator) Tasks() []string {
 
 // Owner returns the task whose region contains address a, if any.
 func (al *Allocator) Owner(a Addr) (string, bool) {
-	for n, r := range al.regions {
+	for n, r := range al.regions { //lint:allow maporder (regions are disjoint)
 		if r.Contains(a) {
 			return n, true
 		}

@@ -197,3 +197,46 @@ func Writable(a Addr) bool {
 		return false
 	}
 }
+
+// portStatReadable reports whether per-port stat index idx is backed by
+// a register: the named statistics (0..PortCapacity), the task scratch
+// words, and the SNR register form one contiguous readable block.
+func portStatReadable(idx int) bool { return idx >= 0 && idx <= PortSNR }
+
+// Readable reports whether a TPP load of address a is backed by a
+// mapped register, i.e. whether it succeeds rather than faulting with
+// an unmapped-address error.  It is the static mirror of the ASIC's
+// per-packet memory view (internal/asic agreement is property-tested
+// there); the verifier uses it to prove programs fault-free before
+// injection.
+//
+// ports is the switch's port count, bounding the absolute per-port
+// window; ports <= 0 means "unknown switch" and treats the whole
+// window as mapped (the permissive end-host default, since an injector
+// cannot know the port count of every switch on the path).
+func Readable(a Addr, ports int) bool {
+	switch NamespaceOf(a) {
+	case NSSwitch:
+		return int(a-SwitchBase) < switchStatWords
+	case NSPort:
+		return portStatReadable(int(a - PortBase))
+	case NSQueue:
+		return int(a-QueueBase) < queueStatWords
+	case NSPacket:
+		return int(a-PacketBase) < packetStatWords
+	case NSSRAM:
+		return true
+	case NSPortAbs:
+		port, stat := PortAbsDecode(a)
+		if ports > 0 && port >= ports {
+			return false
+		}
+		return portStatReadable(stat)
+	}
+	return false
+}
+
+// StoreOK reports whether a TPP store to address a succeeds on a
+// switch with the given port count: the address must be writable per
+// the protection map and backed by a mapped register.
+func StoreOK(a Addr, ports int) bool { return Writable(a) && Readable(a, ports) }

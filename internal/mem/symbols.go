@@ -72,7 +72,7 @@ var canonical = func() map[Addr]string {
 	}
 	m := make(map[Addr]string)
 	names := make([]string, 0, len(symbols))
-	for n := range symbols {
+	for n := range symbols { //lint:allow maporder (sorted before use)
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -116,7 +116,7 @@ func NameOf(a Addr) string {
 // CLI to print the symbol table.
 func SymbolNames() []string {
 	names := make([]string, 0, len(symbols))
-	for n := range symbols {
+	for n := range symbols { //lint:allow maporder (sorted before return)
 		names = append(names, n)
 	}
 	sort.Strings(names)

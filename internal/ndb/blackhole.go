@@ -290,7 +290,7 @@ func RunBlackhole(cfg BlackholeConfig) BlackholeResult {
 
 func sortedLinks(set map[LinkID]bool) []LinkID {
 	out := make([]LinkID, 0, len(set))
-	for l := range set {
+	for l := range set { //lint:allow maporder (sorted before return)
 		out = append(out, l)
 	}
 	sort.Slice(out, func(i, j int) bool {

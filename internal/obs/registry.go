@@ -150,17 +150,17 @@ func (r *Registry) Snapshot(atNs int64) Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counters {
+	for name, c := range r.counters { //lint:allow maporder (sorted before return)
 		s.Metrics = append(s.Metrics, Metric{
 			AtNs: atNs, Name: name, Kind: KindCounter, Value: int64(c.Value()),
 		})
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.gauges { //lint:allow maporder (sorted before return)
 		s.Metrics = append(s.Metrics, Metric{
 			AtNs: atNs, Name: name, Kind: KindGauge, Value: g.Value(),
 		})
 	}
-	for name, h := range r.hists {
+	for name, h := range r.hists { //lint:allow maporder (sorted before return)
 		m := Metric{
 			AtNs: atNs, Name: name, Kind: KindHistogram,
 			Count: h.Count(), Sum: h.Sum(), Max: h.Max(),

@@ -73,6 +73,9 @@ const (
 	// StageFaultRecover: the fault injector cleared a fault.  Fields
 	// as for StageFaultInject.
 	StageFaultRecover
+	// StageVerifyReject: the paranoid parser statically rejected the
+	// packet's TPP and stripped it.  A=input port, B=error count.
+	StageVerifyReject
 )
 
 var stageNames = [...]string{
@@ -94,6 +97,7 @@ var stageNames = [...]string{
 	StageLinkDown:     "link-down",
 	StageFaultInject:  "fault-inject",
 	StageFaultRecover: "fault-recover",
+	StageVerifyReject: "verify-reject",
 }
 
 // String names the stage.

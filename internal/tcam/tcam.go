@@ -167,7 +167,7 @@ func (t *Table) sortEntries() {
 		return
 	}
 	t.ordered = make([]*Entry, 0, len(t.entries))
-	for _, e := range t.entries {
+	for _, e := range t.entries { //lint:allow maporder (sorted below)
 		t.ordered = append(t.ordered, e)
 	}
 	sort.Slice(t.ordered, func(i, j int) bool {

@@ -167,3 +167,26 @@ func TestHopModeOutOfRangeEffectiveAddress(t *testing.T) {
 		t.Fatalf("hop counter = %d", tpp.Ptr)
 	}
 }
+
+// Regression: a wire-supplied stack pointer past the end of packet
+// memory must make POP fault, not panic — switches execute
+// attacker-controlled programs and cannot crash.
+func TestPOPWithStackPointerPastMemoryFaults(t *testing.T) {
+	view := newFakeView()
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPOP, A: uint16(sramAddr)},
+	}, 2)
+	tpp.Ptr = 48 // aligned, beyond the 8 bytes of packet memory
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("POP panicked: %v", r)
+		}
+	}()
+	res := Exec(tpp, view)
+	if res.Fault == nil {
+		t.Fatal("POP past packet memory accepted")
+	}
+	if tpp.Flags&core.FlagError == 0 {
+		t.Fatal("fault did not set FlagError")
+	}
+}

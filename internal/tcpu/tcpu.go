@@ -194,6 +194,13 @@ func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result)
 			r.Fault = fmt.Errorf("tcpu: POP on empty stack")
 			return false
 		}
+		if int(t.Ptr) > len(t.Mem) {
+			// A wire-supplied stack pointer can point past packet
+			// memory; faulting (not panicking) keeps the dataplane
+			// robust against crafted frames.
+			r.Fault = fmt.Errorf("tcpu: POP with SP=%d past packet memory (%d bytes)", t.Ptr, len(t.Mem))
+			return false
+		}
 		t.Ptr -= 4
 		v := t.Word(int(t.Ptr) / 4)
 		if err := view.Store(mem.Addr(in.A), v); err != nil {

@@ -1,0 +1,461 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/tcpu"
+)
+
+// Code classifies a diagnostic, stable across message rewording so
+// callers (and tests) can match on it.
+type Code string
+
+// Diagnostic codes.
+const (
+	// CodeWireFormat: the raw bytes do not parse as a TPP section.
+	CodeWireFormat Code = "wire-format"
+	// CodeMisaligned: a section violates 4-byte alignment (packet
+	// memory length, stack pointer, or per-hop record size).
+	CodeMisaligned Code = "misaligned"
+	// CodeBadVersion: unsupported TPP wire-format version.
+	CodeBadVersion Code = "bad-version"
+	// CodeBadMode: unknown addressing mode.
+	CodeBadMode Code = "bad-mode"
+	// CodeBadOpcode: an instruction uses an opcode outside the set.
+	CodeBadOpcode Code = "bad-opcode"
+	// CodeBadOperand: an operand exceeds the 12-bit encodable range.
+	CodeBadOperand Code = "bad-operand"
+	// CodeTooLong: the program exceeds the device instruction limit.
+	CodeTooLong Code = "program-too-long"
+	// CodeOOBPacketMem: a packet-memory access lands outside the
+	// program's packet memory (including hop-relative addresses and
+	// stack overflow/underflow).
+	CodeOOBPacketMem Code = "oob-packet-memory"
+	// CodeUnmapped: a switch-memory operand addresses no register.
+	CodeUnmapped Code = "unmapped-address"
+	// CodeReadOnly: a store targets a protected/statistics address.
+	CodeReadOnly Code = "read-only-store"
+	// CodeModeMismatch: PUSH/POP outside stack addressing mode.
+	CodeModeMismatch Code = "mode-mismatch"
+	// CodeOverBudget: the instruction retires past the per-packet
+	// cycle budget, so the program cannot run at line rate.
+	CodeOverBudget Code = "over-budget"
+	// CodeUninitGuard (warning): a CEXEC/CSTORE guard reads packet
+	// memory that nothing initialized.
+	CodeUninitGuard Code = "uninitialized-guard"
+	// CodeDeadCode (warning): instructions after the last reachable
+	// PC.
+	CodeDeadCode Code = "dead-code"
+	// CodeZeroHopLen (warning): hop addressing with a zero per-hop
+	// record size, so every hop overwrites the same words.
+	CodeZeroHopLen Code = "zero-hop-record"
+	// CodeTrailingBytes (warning): bytes after the TPP section.
+	CodeTrailingBytes Code = "trailing-bytes"
+)
+
+// Severity splits diagnostics into rejections and lints.
+type Severity uint8
+
+const (
+	// Warn marks a lint: suspicious but not a rejection.
+	Warn Severity = iota
+	// Err marks a proof obligation failure: the program is rejected.
+	Err
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Err {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic pins one finding to an instruction.  PC is the
+// instruction index, or -1 for program-level findings (header fields,
+// overall length).
+type Diagnostic struct {
+	PC       int
+	Code     Code
+	Severity Severity
+	Msg      string
+}
+
+// String formats the diagnostic as "pc 3: error: [code] msg".
+func (d Diagnostic) String() string {
+	loc := "program"
+	if d.PC >= 0 {
+		loc = fmt.Sprintf("pc %d", d.PC)
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", loc, d.Severity, d.Code, d.Msg)
+}
+
+// Result is a verification outcome: the full diagnostic list, in
+// program order.
+type Result struct {
+	Diags []Diagnostic
+}
+
+// OK reports whether the program verified: no error-severity
+// diagnostics (warnings do not reject).
+func (r Result) OK() bool { return len(r.Errors()) == 0 }
+
+// Errors returns only the error-severity diagnostics.
+func (r Result) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == Err {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders one diagnostic per line.
+func (r Result) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Config parameterizes verification for a target device.  The zero
+// value models the paper's default switch: a five-instruction TCPU
+// with the §3.3 cut-through cycle budget and an unknown port count.
+type Config struct {
+	// MaxInstructions is the device program-length limit; zero means
+	// tcpu.DefaultMaxInstructions.
+	MaxInstructions int
+	// BudgetCycles is the per-packet execution budget; zero means
+	// tcpu.BudgetCycles.  Derive a line-rate budget with ForLineRate.
+	BudgetCycles int
+	// Ports bounds the absolute per-port statistics window; zero
+	// means unknown (the whole window is assumed mapped, the
+	// permissive end-host default).
+	Ports int
+}
+
+func (c Config) maxIns() int {
+	if c.MaxInstructions <= 0 {
+		return tcpu.DefaultMaxInstructions
+	}
+	return c.MaxInstructions
+}
+
+func (c Config) budget() int {
+	if c.BudgetCycles <= 0 {
+		return tcpu.BudgetCycles
+	}
+	return c.BudgetCycles
+}
+
+// ForLineRate derives a Config whose cycle budget is the per-packet
+// budget of the given line-rate feasibility check: a program the
+// verifier accepts under it provably sustains that switch's worst-case
+// packet rate on the modeled TCPU pipelines.
+func ForLineRate(lr tcpu.LineRateCheck) Config {
+	b := int(lr.PerPacketBudgetCycles)
+	if b < 1 {
+		b = 1
+	}
+	return Config{BudgetCycles: b}
+}
+
+// Verify runs the full static check over a parsed TPP at its current
+// header state (the stack pointer / hop counter the program will carry
+// into its first switch).  The TPP is not modified.
+func Verify(t *core.TPP, cfg Config) Result {
+	var r Result
+	diag := func(pc int, code Code, sev Severity, format string, args ...any) {
+		r.Diags = append(r.Diags, Diagnostic{PC: pc, Code: code, Severity: sev, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Wire-format sanity (the static mirror of core.Validate, plus
+	// the checks Validate leaves to the TCPU).
+	structOK := true
+	if t.Version != core.TPPVersion {
+		diag(-1, CodeBadVersion, Err, "unsupported TPP version %d (want %d)", t.Version, core.TPPVersion)
+		structOK = false
+	}
+	if t.Mode != core.AddrStack && t.Mode != core.AddrHop {
+		diag(-1, CodeBadMode, Err, "invalid addressing mode %d", uint8(t.Mode))
+		structOK = false
+	}
+	if len(t.Ins) > core.MaxTPPInstructions {
+		diag(-1, CodeTooLong, Err, "%d instructions exceed the wire-format maximum %d", len(t.Ins), core.MaxTPPInstructions)
+		structOK = false
+	} else if len(t.Ins) > cfg.maxIns() {
+		diag(-1, CodeTooLong, Err, "%d instructions exceed the device limit %d", len(t.Ins), cfg.maxIns())
+	}
+	if len(t.Mem)%4 != 0 {
+		diag(-1, CodeMisaligned, Err, "packet memory length %d is not 4-byte aligned", len(t.Mem))
+		structOK = false
+	}
+	if t.Mode == core.AddrHop && t.HopLen%4 != 0 {
+		diag(-1, CodeMisaligned, Err, "per-hop record size %d is not 4-byte aligned", t.HopLen)
+		structOK = false
+	}
+	if t.Mode == core.AddrHop && t.HopLen == 0 && len(t.Ins) > 0 {
+		diag(-1, CodeZeroHopLen, Warn, "hop addressing with zero per-hop record size: every hop writes the same words")
+	}
+	if t.Mode == core.AddrStack && t.Ptr%4 != 0 {
+		diag(-1, CodeMisaligned, Err, "stack pointer %d is not 4-byte aligned", t.Ptr)
+		structOK = false
+	}
+	for pc, in := range t.Ins {
+		if !in.Op.Valid() {
+			diag(pc, CodeBadOpcode, Err, "invalid opcode %d", uint8(in.Op))
+			structOK = false
+		}
+		if in.A > core.MaxOperand {
+			diag(pc, CodeBadOperand, Err, "switch operand %#x exceeds %d bits", in.A, core.OperandBits)
+			structOK = false
+		}
+		if in.B > core.MaxOperand {
+			diag(pc, CodeBadOperand, Err, "packet operand %#x exceeds %d bits", in.B, core.OperandBits)
+			structOK = false
+		}
+	}
+	if !structOK {
+		// The abstract walk needs a structurally sound program; the
+		// findings above already reject it.
+		return r
+	}
+
+	w := walker{t: t, cfg: cfg, diag: diag}
+	w.run()
+	return r
+}
+
+// walker is the abstract-interpretation state for one straight-line
+// pass over the program at its first hop.
+type walker struct {
+	t    *core.TPP
+	cfg  Config
+	diag func(pc int, code Code, sev Severity, format string, args ...any)
+
+	sp       int    // abstract stack pointer, bytes (stack mode)
+	sp0Words int    // words below the initial SP count as initialized
+	written  []bool // packet-memory words written by earlier instructions
+	stalls   int    // worst-case CSTORE stall cycles accrued so far
+}
+
+func (w *walker) run() {
+	t := w.t
+	words := t.MemWords()
+	w.written = make([]bool, words)
+	if t.Mode == core.AddrStack {
+		w.sp = int(t.Ptr)
+		w.sp0Words = int(t.Ptr) / 4
+	}
+
+	budget := w.cfg.budget()
+	for pc, in := range t.Ins {
+		if halts, known := w.step(pc, in); halts && known {
+			if pc+1 < len(t.Ins) {
+				w.diag(pc+1, CodeDeadCode, Warn,
+					"instructions %d..%d are unreachable: the CEXEC at pc %d can never pass", pc+1, len(t.Ins)-1, pc)
+			}
+			return
+		}
+		// Figure 5 pipeline: instruction pc retires at cycle
+		// PipelineLatency+pc, plus one stall per (worst-case
+		// successful) CSTORE at or before it.
+		if retire := tcpu.PipelineLatency + pc + w.stalls; retire > budget {
+			w.diag(pc, CodeOverBudget, Err,
+				"instruction retires at cycle %d, past the %d-cycle per-packet budget", retire, budget)
+		}
+	}
+}
+
+// effective resolves a packet operand to a word index at the hop being
+// verified, mirroring core.TPP.EffectiveWord.
+func (w *walker) effective(b uint16) int {
+	if w.t.Mode == core.AddrHop {
+		return int(w.t.Ptr)*(int(w.t.HopLen)/4) + int(b)
+	}
+	return int(b)
+}
+
+// markWrite records that the program overwrote word i: the word is now
+// initialized, and its injection-time contents no longer constant.
+func (w *walker) markWrite(i int) {
+	if i >= 0 && i < len(w.written) {
+		w.written[i] = true
+	}
+}
+
+// initialized reports whether word i provably holds a meaningful value
+// when read: pre-set nonzero memory, anything below the initial stack
+// pointer, or a word an earlier instruction wrote.
+func (w *walker) initialized(i int) bool {
+	if i < 0 || i >= len(w.written) {
+		return false
+	}
+	return w.written[i] || w.t.Word(i) != 0 || (w.t.Mode == core.AddrStack && i < w.sp0Words)
+}
+
+// checkPkt bounds-checks packet-memory word i for instruction pc.
+func (w *walker) checkPkt(pc, i int, what string) bool {
+	if i >= 0 && i < w.t.MemWords() {
+		return true
+	}
+	w.diag(pc, CodeOOBPacketMem, Err,
+		"%s packet-memory word %d out of range (%d words)", what, i, w.t.MemWords())
+	return false
+}
+
+// checkLoad verifies that switch address a is a mapped register.
+func (w *walker) checkLoad(pc int, a uint16) {
+	if !mem.Readable(mem.Addr(a), w.cfg.Ports) {
+		w.diag(pc, CodeUnmapped, Err, "load from unmapped address %s (%#x)", mem.NameOf(mem.Addr(a)), mem.Addr(a).ByteAddr())
+	}
+}
+
+// checkStore verifies that switch address a accepts TPP stores.
+func (w *walker) checkStore(pc int, a uint16) {
+	addr := mem.Addr(a)
+	switch {
+	case mem.StoreOK(addr, w.cfg.Ports):
+	case mem.Writable(addr):
+		w.diag(pc, CodeUnmapped, Err, "store to unmapped address %s (%#x)", mem.NameOf(addr), addr.ByteAddr())
+	case mem.Readable(addr, w.cfg.Ports):
+		w.diag(pc, CodeReadOnly, Err, "store to protected address %s (%#x): statistics are read-only", mem.NameOf(addr), addr.ByteAddr())
+	default:
+		w.diag(pc, CodeUnmapped, Err, "store to unmapped address %s (%#x)", mem.NameOf(addr), addr.ByteAddr())
+	}
+}
+
+// guardRead lint-checks a CEXEC/CSTORE guard word.
+func (w *walker) guardRead(pc, i int, what string) {
+	if !w.initialized(i) {
+		w.diag(pc, CodeUninitGuard, Warn,
+			"%s reads packet-memory word %d, which nothing initialized", what, i)
+	}
+}
+
+// step analyzes one instruction.  halts reports that execution cannot
+// continue past it; known reports the halt is statically certain (a
+// CEXEC over constants that can never pass), which makes everything
+// after it dead code.
+func (w *walker) step(pc int, in core.Instruction) (halts, known bool) {
+	t := w.t
+	switch in.Op {
+	case core.OpNOP:
+
+	case core.OpLOAD:
+		w.checkLoad(pc, in.A)
+		i := w.effective(in.B)
+		if w.checkPkt(pc, i, "LOAD writes") {
+			w.markWrite(i)
+		}
+
+	case core.OpSTORE:
+		i := w.effective(in.B)
+		w.checkPkt(pc, i, "STORE reads")
+		w.checkStore(pc, in.A)
+
+	case core.OpPUSH:
+		if t.Mode != core.AddrStack {
+			w.diag(pc, CodeModeMismatch, Err, "PUSH requires stack addressing mode")
+			return false, false
+		}
+		w.checkLoad(pc, in.A)
+		if w.sp+4 > len(t.Mem) {
+			w.diag(pc, CodeOOBPacketMem, Err,
+				"PUSH exhausts packet memory at the first hop (SP=%d, %d bytes)", w.sp, len(t.Mem))
+			return false, false
+		}
+		w.markWrite(w.sp / 4)
+		w.sp += 4
+
+	case core.OpPOP:
+		if t.Mode != core.AddrStack {
+			w.diag(pc, CodeModeMismatch, Err, "POP requires stack addressing mode")
+			return false, false
+		}
+		if w.sp < 4 {
+			w.diag(pc, CodeOOBPacketMem, Err, "POP on an empty stack")
+			return false, false
+		}
+		if w.sp > len(t.Mem) {
+			w.diag(pc, CodeOOBPacketMem, Err,
+				"POP reads past packet memory (SP=%d, %d bytes)", w.sp, len(t.Mem))
+			return false, false
+		}
+		w.sp -= 4
+		w.checkStore(pc, in.A)
+
+	case core.OpCSTORE:
+		base := w.effective(in.B)
+		ok := w.checkPkt(pc, base, "CSTORE condition") &&
+			w.checkPkt(pc, base+1, "CSTORE source") &&
+			w.checkPkt(pc, base+2, "CSTORE result")
+		w.checkStore(pc, in.A)
+		if ok {
+			w.guardRead(pc, base, "CSTORE condition")
+			w.guardRead(pc, base+1, "CSTORE source")
+			w.markWrite(base + 2)
+		}
+		// Worst case the compare succeeds: one extra stall cycle in
+		// the Figure 5 pipeline (memory read + write in one
+		// instruction).
+		w.stalls++
+
+	case core.OpCEXEC:
+		base := w.effective(in.B)
+		ok := w.checkPkt(pc, base, "CEXEC mask") && w.checkPkt(pc, base+1, "CEXEC value")
+		w.checkLoad(pc, in.A)
+		if !ok {
+			return false, false
+		}
+		w.guardRead(pc, base, "CEXEC mask")
+		w.guardRead(pc, base+1, "CEXEC value")
+		// If both guard words still hold their injection-time
+		// contents, the predicate is a compile-time constant in
+		// value bits outside the mask: (reg & mask) can never equal
+		// a value with bits the mask clears.
+		if !w.written[base] && !w.written[base+1] {
+			mask, val := t.Word(base), t.Word(base+1)
+			if val&^mask != 0 {
+				return true, true
+			}
+		}
+		return true, false // may halt at runtime; successors stay reachable
+
+	case core.OpADD, core.OpSUB, core.OpMAX:
+		w.checkLoad(pc, in.A)
+		i := w.effective(in.B)
+		if w.checkPkt(pc, i, in.Op.String()+" updates") {
+			w.markWrite(i)
+		}
+	}
+	return false, false
+}
+
+// VerifyWire checks a raw TPP section: wire-format sanity first (a
+// section that does not parse is rejected with a single wire-format
+// diagnostic), then the full static verification of the decoded
+// program.  The decoded TPP is returned when parsing succeeded.
+func VerifyWire(b []byte, cfg Config) (Result, *core.TPP) {
+	var t core.TPP
+	n, err := core.ParseTPP(b, &t)
+	if err != nil {
+		return Result{Diags: []Diagnostic{{
+			PC: -1, Code: CodeWireFormat, Severity: Err, Msg: err.Error(),
+		}}}, nil
+	}
+	r := Verify(&t, cfg)
+	if n < len(b) {
+		r.Diags = append(r.Diags, Diagnostic{
+			PC: -1, Code: CodeTrailingBytes, Severity: Warn,
+			Msg: fmt.Sprintf("%d trailing bytes after the TPP section", len(b)-n),
+		})
+	}
+	return r, &t
+}

@@ -1,0 +1,210 @@
+// Package analyzers is a minimal, dependency-free reimplementation of
+// the go/analysis pattern: named analyzers walk type-annotated syntax
+// trees and report findings with positions.  The real framework lives
+// in golang.org/x/tools, which this repository deliberately does not
+// depend on; the subset here — parse a package directory, best-effort
+// type-check it, run analyzers, honor //lint:allow suppressions — is
+// all the determinism linters need.
+//
+// Type information is best-effort: imports resolve to empty stub
+// packages and type errors are ignored, so analyzers must only rely on
+// facts that are locally inferable (which package an identifier's
+// selector refers to, the types of locally declared values).  That is
+// exactly enough to recognize time.Now calls, math/rand global
+// functions and iteration over locally typed maps.
+//
+// A finding on some line is suppressed by the directive
+//
+//	//lint:allow <analyzer> [reason]
+//
+// placed on the same line or the line immediately above.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+// String formats the finding as "file:line:col: analyzer: msg".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Msg)
+}
+
+// Pass carries one package's worth of state to an analyzer's Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+
+	// Report records a finding at pos.  Suppression is applied by the
+	// driver, not the analyzer.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Analyzer is a named check over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// stubImporter satisfies every import with an empty package, so
+// type-checking proceeds (with errors we ignore) even though no export
+// data is available.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexAny(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si.pkgs[path] = p
+	return p, nil
+}
+
+// Dir parses the non-test Go files of one package directory, runs every
+// analyzer and returns the unsuppressed findings sorted by position.
+func Dir(dir string, as []*Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: parsing %s: %w", dir, err)
+	}
+
+	var findings []Finding
+	for _, name := range sortedKeys(pkgs) {
+		pkg := pkgs[name]
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, fname := range sortedKeys(pkg.Files) {
+			files = append(files, pkg.Files[fname])
+		}
+
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		}
+		conf := types.Config{
+			Importer: &stubImporter{pkgs: make(map[string]*types.Package)},
+			Error:    func(error) {}, // best-effort: stub imports guarantee errors
+		}
+		_, _ = conf.Check(name, fset, files, info)
+
+		allow := collectAllows(fset, files)
+		for _, a := range as {
+			a.Run(&Pass{
+				Fset:  fset,
+				Files: files,
+				Info:  info,
+				Report: func(pos token.Pos, format string, args ...any) {
+					p := fset.Position(pos)
+					if allow.suppressed(a.Name, p) {
+						return
+					}
+					findings = append(findings, Finding{
+						Pos: p, Analyzer: a.Name, Msg: fmt.Sprintf(format, args...),
+					})
+				},
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// allowSet records //lint:allow directives by file, line and analyzer.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) suppressed(analyzer string, p token.Position) bool {
+	lines := s[p.Filename]
+	// Same line, or the directive on its own line directly above.
+	return lines[p.Line][analyzer] || lines[p.Line-1][analyzer]
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	s := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				lines := s[p.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s[p.Filename] = lines
+				}
+				if lines[p.Line] == nil {
+					lines[p.Line] = make(map[string]bool)
+				}
+				lines[p.Line][fields[0]] = true
+			}
+		}
+	}
+	return s
+}
+
+// pkgFunc reports whether call is a selector call into the package with
+// the given import path (alias- and shadowing-aware via the
+// type-checker's Uses map), returning the selected name.
+func pkgFunc(info *types.Info, call *ast.CallExpr, path string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

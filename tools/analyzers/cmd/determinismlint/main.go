@@ -1,0 +1,39 @@
+// Command determinismlint runs the repository's determinism analyzers
+// (notime, norand, maporder) over package directories and exits
+// non-zero when any finding survives //lint:allow suppression.
+//
+// Usage:
+//
+//	determinismlint DIR...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: determinismlint DIR...")
+		os.Exit(2)
+	}
+	suite := analyzers.Determinism()
+	bad := false
+	for _, dir := range dirs {
+		findings, err := analyzers.Dir(dir, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism returns the analyzer suite enforcing the repository's
+// reproducibility invariant: simulations are functions of their inputs
+// and seeds, never of wall-clock time, global randomness or map
+// iteration order.
+func Determinism() []*Analyzer {
+	return []*Analyzer{NoTime, NoRand, MapOrder}
+}
+
+// NoTime flags wall-clock reads.  Simulated time comes from
+// netsim.Sim's virtual clock; time.Now (and the Since/Until sugar over
+// it) makes runs unrepeatable.
+var NoTime = &Analyzer{
+	Name: "notime",
+	Doc:  "forbid wall-clock reads (time.Now, time.Since, time.Until)",
+	Run: func(p *Pass) {
+		forbidden := map[string]bool{"Now": true, "Since": true, "Until": true}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgFunc(p.Info, call, "time"); ok && forbidden[name] {
+					p.Report(call.Pos(), "time.%s reads the wall clock; use the simulator's virtual clock", name)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// NoRand flags math/rand's global convenience functions, which draw
+// from a shared, unseeded source.  Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are the sanctioned alternative, so
+// the constructors stay allowed.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand global functions; construct seeded generators instead",
+	Run: func(p *Pass) {
+		allowed := map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, path := range []string{"math/rand", "math/rand/v2"} {
+					if name, ok := pkgFunc(p.Info, call, path); ok && !allowed[name] {
+						p.Report(call.Pos(), "rand.%s draws from the global source; use a seeded *rand.Rand", name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// MapOrder flags range statements over maps.  Go randomizes map
+// iteration order, so any observable effect of the loop body's order —
+// output, event scheduling, error selection — varies run to run.
+// Loops whose effect is genuinely order-insensitive carry a
+// //lint:allow maporder directive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid iteration over maps where order can leak into behavior",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					p.Report(rng.Pos(), "map iteration order is random; sort the keys or use a slice")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,18 @@
+// Package aliased is a lint fixture proving the analyzers resolve
+// imports through the type-checker, not by spelling: an aliased time
+// import is still caught, and a local struct named time is not.
+package aliased
+
+import (
+	clock "time"
+)
+
+type fakeTime struct{}
+
+func (fakeTime) Now() int { return 0 }
+
+func Aliased() {
+	var time fakeTime
+	_ = time.Now()  // fine: not the time package
+	_ = clock.Now() // notime, despite the alias
+}

@@ -1,0 +1,19 @@
+// Package bad is a lint fixture: every statement below violates one
+// determinism analyzer.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Violations(m map[string]int) {
+	fmt.Println(time.Now())              // notime
+	fmt.Println(time.Since(time.Time{})) // notime
+	fmt.Println(rand.Intn(10))           // norand
+	rand.Shuffle(3, func(i, j int) {})   // norand
+	for k, v := range m {                // maporder
+		fmt.Println(k, v)
+	}
+}
