@@ -5,7 +5,7 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet lint test race check fuzz bench bench-json experiments clean
+.PHONY: all build vet lint test race check soak fuzz bench bench-json experiments clean
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
@@ -24,15 +24,25 @@ vet:
 lint: vet
 	$(GO) run ./tools/analyzers/cmd/determinismlint $(LINT_PKGS)
 
+# Tests run with -shuffle=on: a deterministic simulation must not care
+# what order its tests execute in, and shuffling catches shared-state
+# leaks between them.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # check is the tier-1 gate: vet, build, and the full test suite under
-# the race detector.
+# the race detector (with shuffled test order).
 check: vet build race
+
+# soak runs the composed chaos scenario (reboots + bursty loss +
+# blackhole + throttling) verbosely.  The seeds are pinned inside the
+# test (1, 7, 42) and each runs twice: both runs must produce identical
+# results word for word.
+soak:
+	$(GO) test -run TestChaosSoak -v -count=1 ./internal/chaos
 
 # fuzz smoke-tests the verifier's soundness property: verified programs
 # never trip a dynamic fault.

@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"breakdown", "§2.1 per-hop queueing-latency breakdown", runBreakdown},
 	{"accounting", "§2.2 consistency: CSTORE vs racy read-modify-write", runAccounting},
 	{"fct", "extension: flow completion time, RCP* vs AIMD", runFCT},
+	{"reboot", "robustness: switch crash-restart chaos soak", runReboot},
 }
 
 func main() {

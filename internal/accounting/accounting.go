@@ -51,6 +51,15 @@ type Counter struct {
 	Retries uint64
 	// Failures counts Adds abandoned after DefaultRetries conflicts.
 	Failures uint64
+
+	// Poll bookkeeping: the last value/epoch pair observed, so deltas
+	// survive a switch crash-restart wiping the tally back to zero.
+	lastValue uint32
+	lastEpoch uint32
+	polled    bool
+	// Discontinuities counts Polls that found the counter re-based —
+	// the switch rebooted (epoch bump) or the value ran backwards.
+	Discontinuities uint64
 }
 
 // NewCounter builds a handle for the tally at SRAM address addr on the
@@ -65,23 +74,56 @@ func NewCounter(prober *endhost.Prober, dstMAC core.MAC, dstIP uint32,
 // value the counter held after this update was applied (or the last
 // observed value if the update was abandoned).
 func (c *Counter) Add(n uint32, done func(uint32)) {
-	c.read(func(old uint32) { c.attempt(old, n, DefaultRetries, done) })
+	c.read(func(old, _ uint32) { c.attempt(old, n, DefaultRetries, done) })
 }
 
-// read fetches the current value: a one-instruction TPP gated to the
-// target switch.
+// read fetches the current value and the switch's boot epoch in one
+// gated TPP.
 //
 //	CEXEC [Switch:SwitchID], 0xFFFFFFFF, $switchID
 //	LOAD  [addr], [Packet:2]
-func (c *Counter) read(fn func(uint32)) {
+//	LOAD  [Switch:Epoch], [Packet:3]
+func (c *Counter) read(fn func(value, epoch uint32)) {
 	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
 		{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
 		{Op: core.OpLOAD, A: uint16(c.addr), B: 2},
-	}, 3)
+		{Op: core.OpLOAD, A: uint16(mem.SwitchBase + mem.SwitchEpoch), B: 3},
+	}, 4)
 	tpp.SetWord(0, 0xFFFFFFFF)
 	tpp.SetWord(1, c.switchID)
 	c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
-		fn(e.Word(2))
+		fn(e.Word(2), e.Word(3))
+	})
+}
+
+// Poll reads the counter and reports the change since the previous
+// Poll.  A switch crash-restart wipes the tally back to zero; without
+// the epoch word a poller would compute a large negative delta and
+// corrupt any rate estimate built on it.  Poll instead flags the
+// discontinuity: discont is true (and the delta re-based to the
+// increments accumulated since the wipe) whenever the boot epoch
+// changed — or, belt-and-braces, whenever the value ran backwards.
+// The first Poll establishes the baseline with discont == false.
+func (c *Counter) Poll(fn func(value uint32, delta int64, discont bool)) {
+	c.read(func(value, epoch uint32) {
+		first := !c.polled
+		discont := !first && (epoch != c.lastEpoch || value < c.lastValue)
+		var delta int64
+		switch {
+		case first:
+			delta = 0
+		case discont:
+			c.Discontinuities++
+			delta = int64(value)
+		default:
+			delta = int64(value) - int64(c.lastValue)
+		}
+		c.polled = true
+		c.lastValue = value
+		c.lastEpoch = epoch
+		if fn != nil {
+			fn(value, delta, discont)
+		}
 	})
 }
 

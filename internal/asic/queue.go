@@ -18,6 +18,13 @@ type Queue struct {
 	DropPkts  uint64
 	DeqBytes  uint64
 	DeqPkts   uint64
+	// FlushedBytes and FlushedPkts count packets discarded by Flush
+	// (a switch crash-restart wiping its buffer memory).  They close
+	// the conservation equation EnqPkts == DeqPkts + DropPkts(post-
+	// admission: zero today) + FlushedPkts + Len(), which the chaos
+	// soak test asserts: a reboot neither duplicates nor leaks packets.
+	FlushedBytes uint64
+	FlushedPkts  uint64
 }
 
 // NewQueue builds a queue holding at most capBytes of packet data.
@@ -50,6 +57,26 @@ func (q *Queue) Enqueue(p *core.Packet) bool {
 	q.EnqBytes += uint64(n)
 	q.EnqPkts++
 	return true
+}
+
+// Flush discards every queued packet — the crash-restart path: buffer
+// memory is wiped, so queued packets vanish without drop accounting at
+// the egress.  each (optional) visits every discarded packet, letting
+// the switch record a span per loss so telemetry reconciles exactly
+// with the counters.  It returns the number of packets discarded.
+func (q *Queue) Flush(each func(*core.Packet)) int {
+	n := len(q.pkts)
+	for i, p := range q.pkts {
+		q.FlushedBytes += uint64(p.WireLen())
+		if each != nil {
+			each(p)
+		}
+		q.pkts[i] = nil
+	}
+	q.FlushedPkts += uint64(n)
+	q.pkts = q.pkts[:0]
+	q.bytes = 0
+	return n
 }
 
 // Dequeue removes and returns the head packet, or nil when empty.

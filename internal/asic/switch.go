@@ -49,6 +49,19 @@ type Config struct {
 	// L2AgeNs is the MAC table entry lifetime in nanoseconds.
 	L2AgeNs int64
 
+	// TPPRate enables the TCPU admission gate: a token bucket refilled
+	// at TPPRate executions per second with burst capacity TPPBurst.
+	// When the bucket is empty an arriving TPP is *not* executed — the
+	// packet forwards unmodified with core.FlagThrottled set, degrading
+	// to plain forwarding exactly as the line-rate argument requires —
+	// and the tpps_throttled counter and a StageThrottle span record
+	// the event.  Zero (the default) disables the gate: every TPP
+	// executes, as the paper's per-packet cycle budget assumes.
+	TPPRate float64
+	// TPPBurst is the token bucket depth; zero is resolved to
+	// DefaultTPPBurst when TPPRate is set, like the verify limits.
+	TPPBurst int
+
 	// ECNThresholdBytes enables the fixed-function ECN comparator of
 	// §4 ("a router stamps a bit in the IP header whenever the egress
 	// queue occupancy exceeds a configurable threshold"): ECN-capable
@@ -92,7 +105,14 @@ func (c *Config) fill() {
 	if c.UtilGain <= 0 || c.UtilGain > 1 {
 		c.UtilGain = 0.5
 	}
+	if c.TPPRate > 0 && c.TPPBurst <= 0 {
+		c.TPPBurst = DefaultTPPBurst
+	}
 }
+
+// DefaultTPPBurst is the admission-gate bucket depth when TPPRate is
+// configured without an explicit burst.
+const DefaultTPPBurst = 8
 
 // ForwardFunc observes every packet the switch forwards; the baseline
 // ndb implementation (§2.3) attaches here to generate its truncated
@@ -113,12 +133,27 @@ type Switch struct {
 	sram  []uint32
 	busMu sync.Mutex // serializes TPP stores, making CSTORE linearizable
 
-	packets      uint64 // packets switched
-	tppsExecuted uint64
-	tppsStripped uint64
-	tppsRejected uint64 // stripped by the paranoid verifier
-	ttlDrops     uint64
-	blackholes   uint64 // packets with no forwarding decision
+	packets       uint64 // packets switched
+	tppsExecuted  uint64
+	tppsStripped  uint64
+	tppsRejected  uint64 // stripped by the paranoid verifier
+	tppsThrottled uint64 // forwarded without execution (gate exhausted)
+	ttlDrops      uint64
+	blackholes    uint64 // packets with no forwarding decision
+
+	// Crash-restart state.  epoch is the boot generation counter
+	// exposed at [Switch:Epoch]; it increments on every Reboot so
+	// end-hosts can detect that soft state was wiped.  booting is set
+	// for the boot-delay window, during which the switch eats every
+	// arriving frame.
+	epoch       uint32
+	booting     bool
+	reboots     uint64
+	rebootDrops uint64 // packets eaten while down or wiped mid-pipeline
+
+	// TCPU admission gate (token bucket; active when cfg.TPPRate > 0).
+	tppTokens   float64
+	tppRefillAt netsim.Time
 
 	mirror ForwardFunc
 
@@ -147,8 +182,11 @@ type switchMetrics struct {
 	tppOverBudget *obs.Counter
 	tppsStripped  *obs.Counter
 	tppsRejected  *obs.Counter
+	tppsThrottled *obs.Counter
 	ttlDrops      *obs.Counter
 	blackholes    *obs.Counter
+	reboots       *obs.Counter
+	rebootDrops   *obs.Counter
 	tcpuCycles    *obs.Histogram // modeled cycles per TPP execution
 	hopLatency    *obs.Histogram // ns from parser to scheduler dequeue
 }
@@ -184,7 +222,8 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		sram:   make([]uint32, mem.SRAMWords),
 		tracer: cfg.Trace,
 	}
-	reg := cfg.Metrics // nil registry hands out nil (no-op) handles
+	s.tppTokens = float64(cfg.TPPBurst) // the gate starts full
+	reg := cfg.Metrics                  // nil registry hands out nil (no-op) handles
 	s.m = switchMetrics{
 		packets:       reg.Counter(fmt.Sprintf("switch/%d/packets", cfg.ID)),
 		tpps:          reg.Counter(fmt.Sprintf("switch/%d/tpps_executed", cfg.ID)),
@@ -192,8 +231,11 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		tppOverBudget: reg.Counter(fmt.Sprintf("switch/%d/tcpu_over_budget", cfg.ID)),
 		tppsStripped:  reg.Counter(fmt.Sprintf("switch/%d/tpps_stripped", cfg.ID)),
 		tppsRejected:  reg.Counter(fmt.Sprintf("switch/%d/tpps_rejected", cfg.ID)),
+		tppsThrottled: reg.Counter(fmt.Sprintf("switch/%d/tpps_throttled", cfg.ID)),
 		ttlDrops:      reg.Counter(fmt.Sprintf("switch/%d/ttl_drops", cfg.ID)),
 		blackholes:    reg.Counter(fmt.Sprintf("switch/%d/blackholes", cfg.ID)),
+		reboots:       reg.Counter(fmt.Sprintf("switch/%d/reboots", cfg.ID)),
+		rebootDrops:   reg.Counter(fmt.Sprintf("switch/%d/reboot_drops", cfg.ID)),
 		tcpuCycles:    reg.Histogram(fmt.Sprintf("switch/%d/tcpu_cycles", cfg.ID)),
 		hopLatency:    reg.Histogram(fmt.Sprintf("switch/%d/hop_latency_ns", cfg.ID)),
 	}
@@ -246,11 +288,25 @@ func (s *Switch) TCAM() *tcam.Table { return s.tcam }
 // Allocator exposes the control-plane SRAM allocator.
 func (s *Switch) Allocator() *mem.Allocator { return s.alloc }
 
-// SRAM reads scratch word i directly (control-plane access).
-func (s *Switch) SRAM(i int) uint32 { return s.sram[i] }
+// SRAM reads scratch word i directly (control-plane access).  An
+// out-of-range index reads as zero rather than panicking: debug tooling
+// drives this path with untrusted offsets, and a typo must not take the
+// simulation down with it.
+func (s *Switch) SRAM(i int) uint32 {
+	if i < 0 || i >= len(s.sram) {
+		return 0
+	}
+	return s.sram[i]
+}
 
 // SetSRAM writes scratch word i directly (control-plane access).
-func (s *Switch) SetSRAM(i int, v uint32) { s.sram[i] = v }
+// Out-of-range indexes are a no-op, mirroring SRAM.
+func (s *Switch) SetSRAM(i int, v uint32) {
+	if i < 0 || i >= len(s.sram) {
+		return
+	}
+	s.sram[i] = v
+}
 
 // SetMirror installs the forwarding observer.
 func (s *Switch) SetMirror(fn ForwardFunc) { s.mirror = fn }
@@ -275,6 +331,86 @@ func (s *Switch) TPPsStripped() uint64 { return s.tppsStripped }
 // TPPsRejected returns how many TPPs the paranoid verifier stripped.
 func (s *Switch) TPPsRejected() uint64 { return s.tppsRejected }
 
+// TPPsThrottled returns how many TPPs the admission gate declined to
+// execute (their packets forwarded unmodified).
+func (s *Switch) TPPsThrottled() uint64 { return s.tppsThrottled }
+
+// Epoch returns the boot generation counter, the value exposed at
+// [Switch:Epoch]: zero until the first crash-restart.
+func (s *Switch) Epoch() uint32 { return s.epoch }
+
+// Booting reports whether the switch is inside a reboot's boot-delay
+// window (eating every arriving frame).
+func (s *Switch) Booting() bool { return s.booting }
+
+// Reboots returns how many crash-restarts this switch has suffered.
+func (s *Switch) Reboots() uint64 { return s.reboots }
+
+// RebootDrops returns how many packets reboots have eaten: frames
+// arriving while the switch was down plus packets wiped mid-pipeline
+// or out of the egress queues.
+func (s *Switch) RebootDrops() uint64 { return s.rebootDrops }
+
+// Reboot crash-restarts the switch: every queued and in-pipeline
+// packet is dropped, scratch SRAM is zeroed, the SRAM allocator is
+// reset, learned L2 entries and per-port task scratch are cleared, and
+// for bootDelay the switch eats every arriving frame.  The TCAM and L3
+// tables survive — they are config, reloaded from NVRAM by the boot —
+// so forwarding resumes unaided once the boot delay elapses.  The boot
+// generation counter at [Switch:Epoch] increments immediately, which is
+// how end-hosts later discover the wipe.
+func (s *Switch) Reboot(bootDelay netsim.Time) {
+	s.epoch++
+	s.booting = true
+	s.reboots++
+	s.m.reboots.Inc()
+
+	// Wipe soft state.  Flushed queue packets count as reboot drops so
+	// packet conservation stays provable across the crash.
+	clear(s.sram)
+	s.alloc.Reset()
+	s.l2.Flush()
+	for _, p := range s.ports {
+		p.scratch = [mem.PortScratchWords]uint32{}
+		p.snr = 0
+		port := p.ID()
+		for _, q := range p.queues {
+			flushed := q.Flush(func(pkt *core.Packet) {
+				s.span(pkt, obs.StageRebootDrop, uint64(port), uint64(pkt.WireLen()))
+			})
+			s.rebootDrops += uint64(flushed)
+			s.m.rebootDrops.Add(uint64(flushed))
+		}
+	}
+	// The admission gate's bucket is soft state too: boot refills it.
+	s.tppTokens = float64(s.cfg.TPPBurst)
+	s.tppRefillAt = s.sim.Now()
+
+	s.tracer.Record(obs.SpanEvent{
+		At: int64(s.sim.Now()), UID: 0, Node: s.cfg.ID,
+		Stage: obs.StageSwitchReboot, A: uint64(s.epoch), B: uint64(bootDelay),
+	})
+
+	epoch := s.epoch
+	s.sim.After(bootDelay, func() {
+		if s.epoch != epoch {
+			return // a newer reboot owns the boot timer
+		}
+		s.booting = false
+		s.tracer.Record(obs.SpanEvent{
+			At: int64(s.sim.Now()), UID: 0, Node: s.cfg.ID,
+			Stage: obs.StageSwitchUp, A: uint64(epoch),
+		})
+	})
+}
+
+// dropRebooted counts and records one packet eaten by a crash-restart.
+func (s *Switch) dropRebooted(pkt *core.Packet, port int) {
+	s.rebootDrops++
+	s.m.rebootDrops.Inc()
+	s.span(pkt, obs.StageRebootDrop, uint64(port), uint64(pkt.WireLen()))
+}
+
 func (s *Switch) housekeeping() {
 	for _, p := range s.ports {
 		p.tick()
@@ -286,6 +422,12 @@ func (s *Switch) housekeeping() {
 // port.  The fixed pipeline latency covers the parser and lookup
 // stages; forwarding happens after it elapses.
 func (s *Switch) Receive(pkt *core.Packet, port int) {
+	// A switch mid-boot is electrically absent: frames arriving during
+	// the boot delay vanish without any further processing.
+	if s.booting {
+		s.dropRebooted(pkt, port)
+		return
+	}
 	p := s.ports[port]
 	p.rxBytes += uint64(pkt.WireLen())
 	s.span(pkt, obs.StageParser, uint64(port), uint64(pkt.WireLen()))
@@ -321,7 +463,17 @@ func (s *Switch) Receive(pkt *core.Packet, port int) {
 		InPort:     uint32(port),
 		EnqueuedAt: int64(s.sim.Now()),
 	}
-	s.sim.After(s.cfg.PipelineLatency, func() { s.forward(pkt, port) })
+	// Capture the boot epoch: a crash while the packet sits in the
+	// parse/lookup pipeline wipes it along with the rest of the
+	// switch's volatile state.
+	epoch := s.epoch
+	s.sim.After(s.cfg.PipelineLatency, func() {
+		if s.booting || s.epoch != epoch {
+			s.dropRebooted(pkt, port)
+			return
+		}
+		s.forward(pkt, port)
+	})
 }
 
 // stripTPP removes the TPP section, leaving the encapsulated payload as
@@ -455,18 +607,18 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	// the packet is stored in memory."  Non-TPP packets are ignored
 	// by the TCPU.
 	if pkt.TPP != nil && pkt.Eth.Type == core.EtherTypeTPP && !s.tcpuOff {
-		v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
-		s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
-		s.tppsExecuted++
-		s.m.tpps.Inc()
-		s.m.tcpuCycles.Observe(uint64(s.LastTCPU.Cycles))
-		if s.LastTCPU.Fault != nil {
-			s.m.tppFaults.Inc()
+		if !s.admitTPP() {
+			// Overload protection: out of tokens, so the program does
+			// not run here.  The packet forwards unmodified with the
+			// hop-visible throttle bit, letting the end-host tell an
+			// overloaded TCPU apart from a blackhole.
+			pkt.TPP.Flags |= core.FlagThrottled
+			s.tppsThrottled++
+			s.m.tppsThrottled.Inc()
+			s.span(pkt, obs.StageThrottle, uint64(outPort), uint64(inPort))
+		} else {
+			s.execTPP(pkt, outPort)
 		}
-		if !s.LastTCPU.WithinBudget() {
-			s.m.tppOverBudget.Inc()
-		}
-		s.span(pkt, obs.StageTCPU, uint64(s.LastTCPU.Cycles), uint64(s.LastTCPU.Executed))
 	}
 
 	// The memory manager admits the packet into shared buffer memory
@@ -474,6 +626,45 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	// it sees before this packet is admitted.
 	s.span(pkt, obs.StageMemMgr, uint64(pkt.Meta.QueueID), uint64(s.ports[outPort].QueueBytes()))
 	s.ports[outPort].enqueue(pkt, int(pkt.Meta.QueueID))
+}
+
+// admitTPP charges the admission gate one token, refilling the bucket
+// from the dataplane clock first.  An unconfigured gate admits
+// everything.
+func (s *Switch) admitTPP() bool {
+	if s.cfg.TPPRate <= 0 {
+		return true
+	}
+	now := s.sim.Now()
+	if now > s.tppRefillAt {
+		s.tppTokens += (now - s.tppRefillAt).Seconds() * s.cfg.TPPRate
+		if max := float64(s.cfg.TPPBurst); s.tppTokens > max {
+			s.tppTokens = max
+		}
+	}
+	s.tppRefillAt = now
+	if s.tppTokens < 1 {
+		return false
+	}
+	s.tppTokens--
+	return true
+}
+
+// execTPP runs the packet's program on the TCPU and records the
+// execution telemetry.
+func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
+	v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
+	s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
+	s.tppsExecuted++
+	s.m.tpps.Inc()
+	s.m.tcpuCycles.Observe(uint64(s.LastTCPU.Cycles))
+	if s.LastTCPU.Fault != nil {
+		s.m.tppFaults.Inc()
+	}
+	if !s.LastTCPU.WithinBudget() {
+		s.m.tppOverBudget.Inc()
+	}
+	s.span(pkt, obs.StageTCPU, uint64(s.LastTCPU.Cycles), uint64(s.LastTCPU.Executed))
 }
 
 // classify selects the egress queue: the top three TOS bits, clamped to

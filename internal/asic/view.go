@@ -132,6 +132,8 @@ func (v *view) switchStat(idx int) (uint32, bool) {
 		return uint32(s.packets), true
 	case mem.SwitchTPPs:
 		return uint32(s.tppsExecuted), true
+	case mem.SwitchEpoch:
+		return s.epoch, true
 	}
 	return 0, false
 }

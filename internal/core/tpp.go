@@ -40,6 +40,13 @@ const (
 	// FlagStripped marks a TPP whose instructions were removed at an
 	// untrusted edge port (§4); kept for observability in traces.
 	FlagStripped uint8 = 1 << 1
+	// FlagThrottled is set by a switch whose TCPU admission gate ran
+	// out of tokens: the packet was forwarded without executing its
+	// program, degrading to plain forwarding as the line-rate argument
+	// requires.  End-hosts use the bit to distinguish an overloaded
+	// TCPU (echo returns, flag set, hop record missing) from a
+	// blackhole (no echo at all).
+	FlagThrottled uint8 = 1 << 2
 )
 
 // TPPVersion is the wire format version implemented by this package.

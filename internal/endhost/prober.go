@@ -63,6 +63,7 @@ type Prober struct {
 	next     uint32
 	pending  map[uint32]*pendingProbe
 	defaults ProbeConfig
+	epochs   *EpochTracker
 
 	// Sent and Matched count probe transmissions (including
 	// retransmissions) and successfully matched echoes.
@@ -85,6 +86,12 @@ func NewProber(h *Host) *Prober {
 
 // SetDefaults installs the ProbeConfig that Probe and ProbeGroup use.
 func (p *Prober) SetDefaults(cfg ProbeConfig) { p.defaults = cfg }
+
+// SetEpochTracker attaches a tracker that scans every parseable echo —
+// matched or not — for per-hop boot epochs, so any collect probe that
+// happens to read [Switch:Epoch] doubles as a crash detector.  Pass nil
+// to detach.
+func (p *Prober) SetEpochTracker(t *EpochTracker) { p.epochs = t }
 
 // Outstanding returns the number of probes awaiting echoes.
 func (p *Prober) Outstanding() int { return len(p.pending) }
@@ -236,6 +243,11 @@ func (p *Prober) onEcho(pkt *core.Packet) {
 		return
 	}
 	cookie := binary.BigEndian.Uint32(pkt.Payload[n:])
+	if p.epochs != nil {
+		// Even a superseded echo carries fresh epochs; scan before the
+		// cookie check so no observation is wasted.
+		p.epochs.ObserveEcho(&tpp)
+	}
 	pp, ok := p.pending[cookie]
 	if !ok {
 		return // superseded or duplicate

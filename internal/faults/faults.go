@@ -54,7 +54,18 @@ const (
 	TCPUOff
 	// TCPUOn re-enables TPP execution on the target switch.
 	TCPUOn
+	// SwitchReboot crash-restarts the target switch: queued and
+	// in-pipeline packets drop, scratch SRAM / allocator / learned L2
+	// entries / task scratch are wiped, the boot generation counter at
+	// [Switch:Epoch] increments, and after BootDelay the switch
+	// resumes forwarding with TCAM/L3 reloaded from config.  Recovery
+	// is autonomous (no paired clear event).
+	SwitchReboot
 )
+
+// DefaultBootDelay is how long a rebooted switch stays dark when the
+// event does not specify a BootDelay.
+const DefaultBootDelay = netsim.Millisecond
 
 var kindNames = [...]string{
 	LinkDown:       "link-down",
@@ -66,6 +77,7 @@ var kindNames = [...]string{
 	ClearBlackhole: "clear-blackhole",
 	TCPUOff:        "tcpu-off",
 	TCPUOn:         "tcpu-on",
+	SwitchReboot:   "switch-reboot",
 }
 
 // String names the kind.
@@ -103,6 +115,9 @@ type Event struct {
 	PGoodBad, PBadGood, LossGood, LossBad float64
 	// DstIP is the destination the Blackhole rule swallows.
 	DstIP uint32
+	// BootDelay is how long a SwitchReboot keeps the switch dark
+	// before it resumes forwarding; zero selects DefaultBootDelay.
+	BootDelay netsim.Time
 }
 
 // Plan is a declarative fault schedule.  The same plan with the same
@@ -206,9 +221,12 @@ func (in *Injector) validate(ev Event) error {
 		if _, ok := in.links[ev.Target]; !ok {
 			return fmt.Errorf("unknown link %q", ev.Target)
 		}
-	case Blackhole, ClearBlackhole, TCPUOff, TCPUOn:
+	case Blackhole, ClearBlackhole, TCPUOff, TCPUOn, SwitchReboot:
 		if _, ok := in.switches[ev.Target]; !ok {
 			return fmt.Errorf("unknown switch %q", ev.Target)
+		}
+		if ev.BootDelay < 0 {
+			return fmt.Errorf("negative boot delay %v", ev.BootDelay)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %d", ev.Kind)
@@ -278,6 +296,12 @@ func (in *Injector) apply(ev Event, seed int64) {
 		in.switches[ev.Target].SetTCPUEnabled(false)
 	case TCPUOn:
 		in.switches[ev.Target].SetTCPUEnabled(true)
+	case SwitchReboot:
+		delay := ev.BootDelay
+		if delay <= 0 {
+			delay = DefaultBootDelay
+		}
+		in.switches[ev.Target].Reboot(delay)
 	}
 
 	if ev.Kind.recovers() {

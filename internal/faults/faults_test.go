@@ -29,10 +29,12 @@ func newRig(t *testing.T, plan faults.Plan) *rig {
 	sim := netsim.New(1)
 	edge := topo.Mbps(100, 10*netsim.Microsecond)
 	backbone := topo.Mbps(100, 10*netsim.Microsecond)
-	n, src, dst, sws := topo.Line(sim, 2, edge, backbone, asic.Config{})
+	// The switches share the tracer so switch-emitted spans (reboot,
+	// boot-complete) land in the same stream as the injector's.
+	tracer := obs.NewTracer(1 << 16)
+	n, src, dst, sws := topo.Line(sim, 2, edge, backbone, asic.Config{Trace: tracer})
 	n.PrimeL2(5 * netsim.Millisecond)
 
-	tracer := obs.NewTracer(1 << 12)
 	inj := faults.NewInjector(sim, tracer)
 	// The backbone is S0 port 0 <-> S1 port 0 (switch-switch links are
 	// wired before host links in topo.Line).

@@ -63,6 +63,11 @@ func (al *Allocator) Alloc(task string, words int) (Region, error) {
 	return reg, nil
 }
 
+// Reset releases every region at once: the allocator state is switch
+// soft state, so a crash-restart wipes it along with the SRAM bank it
+// partitions.  Control-plane agents re-allocate after the switch boots.
+func (al *Allocator) Reset() { clear(al.regions) }
+
 // Free releases the named task's region.
 func (al *Allocator) Free(task string) error {
 	if _, ok := al.regions[task]; !ok {

@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAllocatorSequenceProperty drives random Alloc/Free/Reset
+// sequences and asserts the isolation invariant the control-plane agent
+// exists for: live regions never overlap, never leave the SRAM bank,
+// and Reset leaves a completely empty allocator (so a rebooted switch
+// re-partitions from scratch).
+func TestAllocatorSequenceProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(41))
+	al := NewAllocator()
+	live := map[string]Region{}
+
+	check := func(step int) {
+		t.Helper()
+		tasks := al.Tasks()
+		if len(tasks) != len(live) {
+			t.Fatalf("step %d: allocator holds %d regions, model %d", step, len(tasks), len(live))
+		}
+		regs := make([]Region, 0, len(tasks))
+		for _, task := range tasks {
+			r, ok := al.Lookup(task)
+			if !ok {
+				t.Fatalf("step %d: task %q listed but not found", step, task)
+			}
+			if r != live[task] {
+				t.Fatalf("step %d: task %q region %+v, model %+v", step, task, r, live[task])
+			}
+			if r.Base < SRAMBase || int(r.End()) > int(SRAMBase)+SRAMWords {
+				t.Fatalf("step %d: region %+v outside the SRAM bank", step, r)
+			}
+			regs = append(regs, r)
+		}
+		for i := range regs {
+			for j := i + 1; j < len(regs); j++ {
+				a, b := regs[i], regs[j]
+				if a.Base < b.End() && b.Base < a.End() {
+					t.Fatalf("step %d: regions overlap: %+v and %+v", step, a, b)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch op := rnd.Intn(100); {
+		case op < 55: // alloc
+			task := fmt.Sprintf("task-%d", rnd.Intn(24))
+			words := 1 + rnd.Intn(300)
+			reg, err := al.Alloc(task, words)
+			_, held := live[task]
+			switch {
+			case err == nil && held:
+				t.Fatalf("step %d: double-alloc of %q succeeded", step, task)
+			case err == nil:
+				live[task] = reg
+			}
+		case op < 90: // free
+			task := fmt.Sprintf("task-%d", rnd.Intn(24))
+			err := al.Free(task)
+			_, held := live[task]
+			if (err == nil) != held {
+				t.Fatalf("step %d: Free(%q) err=%v but model held=%v", step, task, err, held)
+			}
+			delete(live, task)
+		default: // reset (the crash-restart path)
+			al.Reset()
+			live = map[string]Region{}
+			if got := al.Tasks(); len(got) != 0 {
+				t.Fatalf("step %d: %d regions survived Reset", step, len(got))
+			}
+		}
+		check(step)
+	}
+}

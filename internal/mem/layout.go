@@ -80,8 +80,15 @@ const (
 	SwitchTCAMSize    = 7 // entries in the TCAM
 	SwitchPackets     = 8 // packets switched (low 32 bits)
 	SwitchTPPs        = 9 // TPPs executed by the TCPU
+	// SwitchEpoch is the boot generation counter: it starts at zero
+	// and increments every time the switch crash-restarts, wiping its
+	// soft state (scratch SRAM, learned L2 entries, task scratch
+	// words).  Any TPP can read it, which is how end-hosts detect that
+	// a switch on the path rebooted and reconcile their view of its
+	// state (re-seed rate registers, re-base accounting deltas).
+	SwitchEpoch = 10
 
-	switchStatWords = 10
+	switchStatWords = 11
 )
 
 // Per-port (link) statistic word indexes (offset from PortBase, and from

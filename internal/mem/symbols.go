@@ -23,6 +23,7 @@ var symbols = map[string]Addr{
 	"Switch:TCAMSize":         SwitchBase + SwitchTCAMSize,
 	"Switch:PacketsSwitched":  SwitchBase + SwitchPackets,
 	"Switch:TPPsExecuted":     SwitchBase + SwitchTPPs,
+	"Switch:Epoch":            SwitchBase + SwitchEpoch,
 
 	// Port / link namespace (context-relative to the egress port).
 	"Link:QueueSize":        PortBase + PortQueueSize,

@@ -76,6 +76,21 @@ const (
 	// StageVerifyReject: the paranoid parser statically rejected the
 	// packet's TPP and stripped it.  A=input port, B=error count.
 	StageVerifyReject
+	// StageThrottle: the TCPU admission gate was out of tokens, so the
+	// packet forwarded without executing its TPP (core.FlagThrottled
+	// is set on the program).  A=egress port, B=input port.
+	StageThrottle
+	// StageSwitchReboot: the switch crash-restarted, dropping queued
+	// packets and wiping soft state.  UID is 0 (no packet); Node is
+	// the switch id; A=new boot epoch, B=boot delay in nanoseconds.
+	StageSwitchReboot
+	// StageSwitchUp: the switch finished booting and resumed
+	// forwarding.  UID is 0; A=boot epoch.
+	StageSwitchUp
+	// StageRebootDrop: the packet arrived at (or was in the pipeline
+	// of) a switch that was down rebooting, and was dropped.  A=input
+	// port, B=wire bytes.
+	StageRebootDrop
 )
 
 var stageNames = [...]string{
@@ -98,6 +113,10 @@ var stageNames = [...]string{
 	StageFaultInject:  "fault-inject",
 	StageFaultRecover: "fault-recover",
 	StageVerifyReject: "verify-reject",
+	StageThrottle:     "tpp-throttle",
+	StageSwitchReboot: "switch-reboot",
+	StageSwitchUp:     "switch-up",
+	StageRebootDrop:   "reboot-drop",
 }
 
 // String names the stage.

@@ -19,18 +19,25 @@ var (
 	addrRXUtil   = mem.PortBase + mem.PortRXUtil
 	addrRateReg  = mem.PortBase + mem.PortScratchBase // Link:RCP-RateRegister
 	addrCapacity = mem.PortBase + mem.PortCapacity
+	addrEpoch    = mem.SwitchBase + mem.SwitchEpoch
 )
 
-// collectStats is the paper's phase-1 program, verbatim:
+// collectStats is the paper's phase-1 program plus a fifth PUSH of the
+// boot generation counter, which rides along at exactly the
+// 5-instruction device limit:
 //
 //	PUSH [Switch:SwitchID]
 //	PUSH [Link:QueueSize]
 //	PUSH [Link:RX-Utilization]
 //	PUSH [Link:RCP-RateRegister]
-var collectStats = []mem.Addr{addrSwitchID, addrQueue, addrRXUtil, addrRateReg}
+//	PUSH [Switch:Epoch]
+//
+// The epoch lets the controller tell a rebooted switch (soft state
+// wiped; must re-seed) from one whose register merely reads zero.
+var collectStats = []mem.Addr{addrSwitchID, addrQueue, addrRXUtil, addrRateReg, addrEpoch}
 
 // collectWords is the per-hop record size of the collect probe.
-const collectWords = 4
+const collectWords = 5
 
 // MaxHops sizes probe packet memory; datacenter paths are "typically
 // 5-7" hops (§2.1).
@@ -75,14 +82,19 @@ type StarController struct {
 	haveCaps bool
 	missed   int // consecutive probe deadlines missed
 
+	// epochs tracks the boot generation counter each collect echo now
+	// carries, so a crash-restart is detected the very next interval.
+	epochs *endhost.EpochTracker
+
 	ticker *netsim.Ticker
 
 	// Telemetry for tests and experiments.
-	Collects uint64 // phase-1 echoes processed
-	Updates  uint64 // phase-3 TPPs sent
-	Timeouts uint64 // probes that missed their deadline
-	Reinits  uint64 // rate registers re-seeded after reading zero
-	LastRate float64
+	Collects   uint64 // phase-1 echoes processed
+	Updates    uint64 // phase-3 TPPs sent
+	Timeouts   uint64 // probes that missed their deadline
+	Reinits    uint64 // rate registers re-seeded after reading zero
+	EpochBumps uint64 // switch reboots detected via the epoch word
+	LastRate   float64
 
 	// Registry handles (nil unless EnableMetrics was called).
 	mCollects *obs.Counter
@@ -106,7 +118,8 @@ func NewStarController(sim *netsim.Sim, host *endhost.Host, prober *endhost.Prob
 	return &StarController{
 		sim: sim, host: host, prober: prober, params: params,
 		dstMAC: dstMAC, dstIP: dstIP,
-		Flow: NewPacedFlow(sim, host, dstMAC, dstIP, StarDataPort, false),
+		epochs: endhost.NewEpochTracker(nil),
+		Flow:   NewPacedFlow(sim, host, dstMAC, dstIP, StarDataPort, false),
 	}
 }
 
@@ -201,6 +214,7 @@ type hopSample struct {
 	Queue    float64
 	Util     float64
 	RateReg  float64
+	Epoch    uint32
 }
 
 func parseCollect(e *core.TPP) []hopSample {
@@ -213,6 +227,7 @@ func parseCollect(e *core.TPP) []hopSample {
 			Queue:    float64(e.Word(base + 1)),
 			Util:     float64(e.Word(base + 2)),
 			RateReg:  float64(e.Word(base + 3)),
+			Epoch:    e.Word(base + 4),
 		})
 	}
 	return out
@@ -227,6 +242,18 @@ func (c *StarController) onCollect(e *core.TPP) {
 	c.Collects++
 	c.missed = 0
 	c.mCollects.Inc()
+
+	// Crash detection: a bumped boot epoch means the switch wiped every
+	// register this controller seeded.  Reconcile the hop by restarting
+	// its queue EWMA from the new (empty) queues; the zero-register
+	// check below re-runs the footnote-3 initialization for the wiped
+	// rate register itself.
+	for i := range samples {
+		if c.epochs.Observe(samples[i].SwitchID, samples[i].Epoch) {
+			c.EpochBumps++
+			c.qAvg[i] = 0
+		}
+	}
 
 	// A zero rate register means the switch lost its RCP state (reboot,
 	// reset): re-run the footnote-3 initialization for that hop by
