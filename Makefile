@@ -9,7 +9,7 @@ BENCHTIME ?= 1x
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
-LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults
+LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults ./internal/guard
 
 all: check
 
@@ -37,17 +37,21 @@ race:
 # the race detector (with shuffled test order).
 check: vet build race
 
-# soak runs the composed chaos scenario (reboots + bursty loss +
-# blackhole + throttling) verbosely.  The seeds are pinned inside the
-# test (1, 7, 42) and each runs twice: both runs must produce identical
-# results word for word.
+# soak runs the composed chaos scenarios verbosely: the crash-restart
+# soak (reboots + bursty loss + blackhole + throttling) and the
+# hostile-tenant isolation soak (forged-write flood vs victim RCP* and
+# accounting).  The seeds are pinned inside the tests (1, 7, 42) and
+# each runs twice: both runs must produce identical results word for
+# word.
 soak:
-	$(GO) test -run TestChaosSoak -v -count=1 ./internal/chaos
+	$(GO) test -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
 
-# fuzz smoke-tests the verifier's soundness property: verified programs
-# never trip a dynamic fault.
+# fuzz smoke-tests the two soundness properties: verified programs
+# never trip a dynamic fault, and guest programs never escape their
+# tenant grant (and, verified against it, are never denied).
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=10s ./internal/verify
+	$(GO) test -fuzz=FuzzGuard -fuzztime=10s ./internal/asic
 
 # bench runs every benchmark once (BENCHTIME=1x) as a smoke test; set
 # BENCHTIME=2s BENCH=PipelineTelemetry for real measurements.

@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"accounting", "§2.2 consistency: CSTORE vs racy read-modify-write", runAccounting},
 	{"fct", "extension: flow completion time, RCP* vs AIMD", runFCT},
 	{"reboot", "robustness: switch crash-restart chaos soak", runReboot},
+	{"hostile", "robustness: hostile-tenant isolation soak", runHostile},
 }
 
 func main() {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/endhost"
 	"repro/internal/mem"
+	"repro/internal/netsim"
 )
 
 // Protocol selects the update discipline.
@@ -35,6 +36,38 @@ const (
 
 // DefaultRetries bounds the CSTORE retry loop per Add.
 const DefaultRetries = 16
+
+// unexecuted pre-fills every result slot before a probe departs.  A
+// TPP can come back echoed without having executed at the gated
+// switch — throttled by an admission gate, stripped at the hop limit —
+// and its result words then still hold whatever the sender wrote.
+// Zero would be ambiguous (a tally can legitimately be zero), so the
+// sentinel makes "the program never ran" distinguishable from every
+// plausible executed outcome, and the client retries instead of
+// trusting garbage.  (A tally that actually reaches 0xFFFFFFFF would
+// alias the sentinel; a 32-bit counter is re-based long before that.)
+const unexecuted = ^uint32(0)
+
+// Inconclusive-echo backoff.  A sentinel echo means an admission gate
+// throttled the program: the tenant is over its token-bucket share.
+// Retrying at echo pace (one RTT, often well under a refill interval)
+// just burns the next token and storms the gate, so retries instead
+// back off exponentially from backoffBase up to backoffCap, giving the
+// bucket time to refill.
+const (
+	backoffBase = 2 * netsim.Millisecond
+	backoffCap  = 64 * netsim.Millisecond
+)
+
+// backoffDelay returns the pause before the retry that will spend the
+// given remaining budget, doubling per attempt already burned.
+func backoffDelay(budget int) netsim.Time {
+	d := backoffBase
+	for burned := DefaultRetries - budget; burned > 0 && d < backoffCap; burned-- {
+		d *= 2
+	}
+	return min(d, backoffCap)
+}
 
 // Counter is an end-host handle onto a shared SRAM tally reachable
 // through probes toward (dstMAC, dstIP); the counter lives at addr on
@@ -51,6 +84,10 @@ type Counter struct {
 	Retries uint64
 	// Failures counts Adds abandoned after DefaultRetries conflicts.
 	Failures uint64
+	// Inconclusive counts echoes that came back without having
+	// executed at the gated switch (throttled or stripped en route);
+	// each one is retried rather than trusted.
+	Inconclusive uint64
 
 	// Poll bookkeeping: the last value/epoch pair observed, so deltas
 	// survive a switch crash-restart wiping the tally back to zero.
@@ -84,6 +121,14 @@ func (c *Counter) Add(n uint32, done func(uint32)) {
 //	LOAD  [addr], [Packet:2]
 //	LOAD  [Switch:Epoch], [Packet:3]
 func (c *Counter) read(fn func(value, epoch uint32)) {
+	c.readRetry(DefaultRetries, fn)
+}
+
+// readRetry issues the read probe, retrying up to budget times when
+// the echo shows the program never executed at the gated switch (both
+// result slots still hold the sentinel).  An exhausted budget drops
+// the read silently: the caller's next cycle re-reads anyway.
+func (c *Counter) readRetry(budget int, fn func(value, epoch uint32)) {
 	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
 		{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
 		{Op: core.OpLOAD, A: uint16(c.addr), B: 2},
@@ -91,7 +136,18 @@ func (c *Counter) read(fn func(value, epoch uint32)) {
 	}, 4)
 	tpp.SetWord(0, 0xFFFFFFFF)
 	tpp.SetWord(1, c.switchID)
+	tpp.SetWord(2, unexecuted)
+	tpp.SetWord(3, unexecuted)
 	c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
+		if e.Word(2) == unexecuted && e.Word(3) == unexecuted {
+			c.Inconclusive++
+			if budget > 1 {
+				c.prober.After(backoffDelay(budget), func() {
+					c.readRetry(budget-1, fn)
+				})
+			}
+			return
+		}
 		fn(e.Word(2), e.Word(3))
 	})
 }
@@ -141,8 +197,26 @@ func (c *Counter) attempt(old, n uint32, budget int, done func(uint32)) {
 		tpp.SetWord(1, c.switchID)
 		tpp.SetWord(2, old)   // cond
 		tpp.SetWord(3, old+n) // src
+		tpp.SetWord(4, unexecuted)
 		c.prober.Probe(c.dstMAC, c.dstIP, tpp, func(e *core.TPP) {
 			observed := e.Word(4)
+			if observed == unexecuted {
+				// The CSTORE never ran at the gated switch (throttled
+				// or stripped en route): the attempt is inconclusive,
+				// not lost — retry with the same expected value.
+				c.Inconclusive++
+				if budget <= 1 {
+					c.Failures++
+					if done != nil {
+						done(old)
+					}
+					return
+				}
+				c.prober.After(backoffDelay(budget), func() {
+					c.attempt(old, n, budget-1, done)
+				})
+				return
+			}
 			if observed == old {
 				if done != nil {
 					done(old + n)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/l2"
 	"repro/internal/l3"
 	"repro/internal/mem"
@@ -61,6 +62,16 @@ type Config struct {
 	// TPPBurst is the token bucket depth; zero is resolved to
 	// DefaultTPPBurst when TPPRate is set, like the verify limits.
 	TPPBurst int
+
+	// Guard enables the multi-tenant isolation subsystem: per-tenant
+	// SRAM partitions with base+bounds relocation, per-namespace ACLs
+	// enforced fail-forward in the TCPU memory stage, and — when
+	// TPPRate is also set — per-tenant admission buckets splitting the
+	// aggregate rate by weighted share (replacing the global bucket).
+	// Tenants are admitted with Switch.GrantTenant; the operator tenant
+	// (id 0) is built in with full access, so a guarded switch carrying
+	// only untenanted traffic behaves exactly like an unguarded one.
+	Guard bool
 
 	// ECNThresholdBytes enables the fixed-function ECN comparator of
 	// §4 ("a router stamps a bit in the IP header whenever the egress
@@ -138,6 +149,7 @@ type Switch struct {
 	tppsStripped  uint64
 	tppsRejected  uint64 // stripped by the paranoid verifier
 	tppsThrottled uint64 // forwarded without execution (gate exhausted)
+	tppsDenied    uint64 // guarded accesses denied (poisoned loads + dropped stores)
 	ttlDrops      uint64
 	blackholes    uint64 // packets with no forwarding decision
 
@@ -154,6 +166,12 @@ type Switch struct {
 	// TCPU admission gate (token bucket; active when cfg.TPPRate > 0).
 	tppTokens   float64
 	tppRefillAt netsim.Time
+
+	// Tenant guard (nil unless cfg.Guard): the table holds every grant
+	// in force plus the per-tenant admission buckets; mTenantDenied
+	// caches the per-tenant denial metric handles.
+	guard         *guard.Table
+	mTenantDenied map[guard.TenantID]*obs.Counter
 
 	mirror ForwardFunc
 
@@ -183,6 +201,7 @@ type switchMetrics struct {
 	tppsStripped  *obs.Counter
 	tppsRejected  *obs.Counter
 	tppsThrottled *obs.Counter
+	tppsDenied    *obs.Counter
 	ttlDrops      *obs.Counter
 	blackholes    *obs.Counter
 	reboots       *obs.Counter
@@ -223,7 +242,11 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		tracer: cfg.Trace,
 	}
 	s.tppTokens = float64(cfg.TPPBurst) // the gate starts full
-	reg := cfg.Metrics                  // nil registry hands out nil (no-op) handles
+	if cfg.Guard {
+		s.guard = guard.NewTable()
+		s.mTenantDenied = make(map[guard.TenantID]*obs.Counter)
+	}
+	reg := cfg.Metrics // nil registry hands out nil (no-op) handles
 	s.m = switchMetrics{
 		packets:       reg.Counter(fmt.Sprintf("switch/%d/packets", cfg.ID)),
 		tpps:          reg.Counter(fmt.Sprintf("switch/%d/tpps_executed", cfg.ID)),
@@ -232,6 +255,7 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		tppsStripped:  reg.Counter(fmt.Sprintf("switch/%d/tpps_stripped", cfg.ID)),
 		tppsRejected:  reg.Counter(fmt.Sprintf("switch/%d/tpps_rejected", cfg.ID)),
 		tppsThrottled: reg.Counter(fmt.Sprintf("switch/%d/tpps_throttled", cfg.ID)),
+		tppsDenied:    reg.Counter(fmt.Sprintf("switch/%d/tpps_denied", cfg.ID)),
 		ttlDrops:      reg.Counter(fmt.Sprintf("switch/%d/ttl_drops", cfg.ID)),
 		blackholes:    reg.Counter(fmt.Sprintf("switch/%d/blackholes", cfg.ID)),
 		reboots:       reg.Counter(fmt.Sprintf("switch/%d/reboots", cfg.ID)),
@@ -382,9 +406,15 @@ func (s *Switch) Reboot(bootDelay netsim.Time) {
 			s.m.rebootDrops.Add(uint64(flushed))
 		}
 	}
-	// The admission gate's bucket is soft state too: boot refills it.
+	// The admission gate's buckets are soft state too: boot refills
+	// them.  Tenant grants survive — they are config, like the TCAM —
+	// and the freshly zeroed SRAM is exactly the blank partition a new
+	// grant would get.
 	s.tppTokens = float64(s.cfg.TPPBurst)
 	s.tppRefillAt = s.sim.Now()
+	if s.guard != nil {
+		s.guard.ResetBuckets(s.sim.Now())
+	}
 
 	s.tracer.Record(obs.SpanEvent{
 		At: int64(s.sim.Now()), UID: 0, Node: s.cfg.ID,
@@ -607,7 +637,7 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	// the packet is stored in memory."  Non-TPP packets are ignored
 	// by the TCPU.
 	if pkt.TPP != nil && pkt.Eth.Type == core.EtherTypeTPP && !s.tcpuOff {
-		if !s.admitTPP() {
+		if !s.admitTPP(guard.TenantID(pkt.TPP.Tenant)) {
 			// Overload protection: out of tokens, so the program does
 			// not run here.  The packet forwards unmodified with the
 			// hop-visible throttle bit, letting the end-host tell an
@@ -630,10 +660,15 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 
 // admitTPP charges the admission gate one token, refilling the bucket
 // from the dataplane clock first.  An unconfigured gate admits
-// everything.
-func (s *Switch) admitTPP() bool {
+// everything.  With the tenant guard on, the aggregate rate is split
+// into per-tenant buckets by weighted share, so a flooding tenant
+// drains only its own quota; without it, every TPP shares one bucket.
+func (s *Switch) admitTPP(id guard.TenantID) bool {
 	if s.cfg.TPPRate <= 0 {
 		return true
+	}
+	if s.guard != nil {
+		return s.guard.Admit(id, s.sim.Now(), s.cfg.TPPRate)
 	}
 	now := s.sim.Now()
 	if now > s.tppRefillAt {
@@ -651,10 +686,25 @@ func (s *Switch) admitTPP() bool {
 }
 
 // execTPP runs the packet's program on the TCPU and records the
-// execution telemetry.
+// execution telemetry.  With the tenant guard on, the memory view is
+// wrapped with the tenant's grant: denied accesses fail forward (poison
+// loads, dropped stores) and surface as FlagAccessFault on the program.
 func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
-	v := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
+	raw := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
+	var v interface {
+		mem.View
+		CondStore(mem.Addr, uint32, uint32) (uint32, error)
+	} = raw
+	var gv *guardedView
+	if s.guard != nil {
+		g, _ := s.guard.Lookup(guard.TenantID(pkt.TPP.Tenant)) // unknown: zero grant, deny-all
+		gv = &guardedView{v: raw, grant: g, tenant: guard.TenantID(pkt.TPP.Tenant)}
+		v = gv
+	}
 	s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
+	if gv != nil && gv.denies > 0 {
+		pkt.TPP.Flags |= core.FlagAccessFault
+	}
 	s.tppsExecuted++
 	s.m.tpps.Inc()
 	s.m.tcpuCycles.Observe(uint64(s.LastTCPU.Cycles))

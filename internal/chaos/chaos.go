@@ -72,9 +72,10 @@ func Default(seed int64) Config {
 // prove determinism.
 type Result struct {
 	// Conservation audit over every queue of every switch:
-	// EnqPkts == DeqPkts + DropPkts + FlushedPkts + Len() must hold,
-	// so Leaked (the sum of the differences) must be zero — a reboot
-	// neither duplicates nor loses track of a packet.
+	// EnqPkts == DeqPkts + FlushedPkts + Len() must hold (tail drops
+	// never enter the queue), so Leaked (the sum of the differences)
+	// must be zero — a reboot neither duplicates nor loses track of a
+	// packet.
 	Leaked int64
 
 	// Reboot bookkeeping on spine 0.
@@ -291,7 +292,7 @@ func Run(cfg Config) Result {
 			for q := 0; q < port.Queues(); q++ {
 				qu := port.Queue(q)
 				res.Leaked += int64(qu.EnqPkts) -
-					int64(qu.DeqPkts+qu.DropPkts+qu.FlushedPkts+uint64(qu.Len()))
+					int64(qu.DeqPkts+qu.FlushedPkts+uint64(qu.Len()))
 			}
 		}
 	}

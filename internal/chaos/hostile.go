@@ -1,0 +1,340 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/accounting"
+	"repro/internal/asic"
+	"repro/internal/endhost"
+	"repro/internal/faults"
+	"repro/internal/guard"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/rcp"
+	"repro/internal/topo"
+	"repro/internal/verify"
+)
+
+// Tenant cast of the hostile soak.
+const (
+	victim1Tenant = guard.TenantID(1) // RCP* flow 1 (control ACL)
+	victim2Tenant = guard.TenantID(2) // RCP* flow 2 (control ACL)
+	acctTenant    = guard.TenantID(3) // accounting writer + poller
+	rogueTenant   = guard.TenantID(9) // the hostile flood
+)
+
+// HostileConfig parameterizes the hostile-tenant soak.  Zero values
+// select the canonical scenario via DefaultHostile.
+type HostileConfig struct {
+	Seed     int64
+	Duration netsim.Time
+
+	// RoguePPS is the forged-TPP flood rate; RogueFrom is when the
+	// rogue wakes up.  The flood runs to the end of the soak.
+	RoguePPS  float64
+	RogueFrom netsim.Time
+
+	// TPPRate arms the per-tenant weighted admission gate on both
+	// switches; the rogue's weighted share is a small fraction of it.
+	TPPRate float64
+
+	// ConvergeFrom starts the window whose rate samples must sit at
+	// the victims' fair share.
+	ConvergeFrom netsim.Time
+}
+
+// DefaultHostile is the canonical hostile-tenant scenario: 5 simulated
+// seconds, a rogue waking at 500ms and flooding forged write-TPPs at
+// 800/s — over 12x its weighted admission share — while two victim
+// RCP* flows share a 20 Mb/s bottleneck and a victim accounting pair
+// keeps a shared tally on the bottleneck switch.
+func DefaultHostile(seed int64) HostileConfig {
+	return HostileConfig{
+		Seed:     seed,
+		Duration: 5 * netsim.Second,
+		RoguePPS: 800, RogueFrom: 500 * netsim.Millisecond,
+		TPPRate:      2000,
+		ConvergeFrom: 3 * netsim.Second,
+	}
+}
+
+// HostileResult is the soak's observable outcome, plain values only so
+// two same-seed runs can be compared wholesale.  Per-switch arrays are
+// indexed 0 = the tenants' edge switch, 1 = the far switch.
+type HostileResult struct {
+	// Flood bookkeeping.
+	RogueSent uint64
+
+	// Denial reconciliation, per switch: the switch counter, the
+	// global metric, the rogue's per-tenant metric, the guard-table
+	// sum over tenants, and the StageAccessDeny span count must agree
+	// exactly.
+	Denied            [2]uint64
+	DeniedMetric      [2]int64
+	RogueDeniedMetric [2]int64
+	DeniedTable       [2]uint64
+	DeniedSpans       [2]int
+	RogueDenied       [2]uint64
+	VictimDenied      [2]uint64 // tenants 1, 2 and 3 combined; must be 0
+
+	// Admission: the rogue got throttled, the victims never did, and
+	// the per-tenant table sums match the switch counters.
+	Throttled       [2]uint64
+	ThrottledTable  [2]uint64
+	RogueThrottled  [2]uint64
+	VictimThrottled [2]uint64
+
+	// Victim convergence: LastRate sampled every 100ms, plus the mean
+	// over [ConvergeFrom, Duration).  FairShare is C/2 for the shared
+	// bottleneck.
+	V1Samples, V2Samples []float64
+	V1Mean, V2Mean       float64
+	FairShare            float64
+
+	// Victim accounting across the flood.
+	Polls           int
+	NegativeDeltas  int
+	Discontinuities uint64
+	WriterDone      uint64 // adds acknowledged by the writer
+	WriterFailures  uint64 // adds abandoned after CSTORE conflicts
+	FinalTally      uint32 // last value the poller observed
+	TallyPhysical   uint32 // the tally word read straight out of SRAM
+
+	// Queue conservation and tracer health.
+	Leaked       int64
+	SpansDropped uint64
+}
+
+// registerTenants installs the full cast on one switch and returns the
+// tenants' grants keyed for the NIC verifiers.  Registration order is
+// fixed, so both switches carve identical partitions and one static
+// grant describes a program's runtime window on every hop.
+func registerTenants(sw *asic.Switch) map[guard.TenantID]guard.Grant {
+	grants := make(map[guard.TenantID]guard.Grant, 4)
+	for _, reg := range []struct {
+		id     guard.TenantID
+		acl    guard.ACL
+		weight float64
+		burst  int
+	}{
+		{victim1Tenant, guard.ControlACL(), 10, 16},
+		{victim2Tenant, guard.ControlACL(), 10, 16},
+		{acctTenant, guard.DefaultACL(), 10, 32},
+		{rogueTenant, guard.DefaultACL(), 1, 4},
+	} {
+		g, err := sw.GrantTenant(reg.id, reg.acl, 64, reg.weight, reg.burst)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: GrantTenant: %v", err))
+		}
+		grants[reg.id] = g
+	}
+	return grants
+}
+
+// RunHostile executes the hostile-tenant scenario.
+func RunHostile(cfg HostileConfig) HostileResult {
+	if cfg.Duration <= 0 {
+		cfg = DefaultHostile(cfg.Seed)
+	}
+	sim := netsim.New(cfg.Seed)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1 << 19)
+
+	// Two guarded switches around one 20 Mb/s bottleneck.  s0 is the
+	// tenants' edge: victims, accounting writer and the rogue all
+	// attach there; receivers sit behind s1.
+	n := topo.NewNetwork(sim)
+	mk := func() *asic.Switch {
+		return n.AddSwitch(asic.Config{Ports: 8, Metrics: reg, Trace: tracer,
+			Guard: true, TPPRate: cfg.TPPRate})
+	}
+	s0, s1 := mk(), mk()
+	n.SetTrace(nil) // switch spans only; channels stay untraced
+
+	edge := topo.Mbps(40, 10*netsim.Microsecond)
+	fabric := topo.Mbps(20, 10*netsim.Microsecond)
+	n.LinkSwitches(s0, s1, fabric)
+
+	v1, v2 := n.AddHost(), n.AddHost() // victim senders
+	wr, rg := n.AddHost(), n.AddHost() // accounting writer, rogue
+	for _, h := range []*endhost.Host{v1, v2, wr, rg} {
+		n.LinkHost(h, s0, edge)
+	}
+	d1, d2 := n.AddHost(), n.AddHost() // victim receivers
+	pl, rd := n.AddHost(), n.AddHost() // accounting poller, rogue's sink
+	for _, h := range []*endhost.Host{d1, d2, pl, rd} {
+		n.LinkHost(h, s1, edge)
+	}
+	n.PrimeL2(5 * netsim.Millisecond)
+
+	grants := registerTenants(s0)
+	registerTenants(s1)
+	rcp.InitRateRegisters(s0, s1)
+
+	// Seal tenant identities at the trusted edge, and gate every
+	// victim NIC with the grant-aware static verifier: a program that
+	// passes here must never trip the dynamic guard.
+	seal := func(h *endhost.Host, id guard.TenantID) {
+		h.NIC.SetTenant(uint8(id))
+		g := grants[id]
+		h.NIC.SetVerifier(&verify.Config{Grant: &g}, nil)
+	}
+	seal(v1, victim1Tenant)
+	seal(v2, victim2Tenant)
+	seal(wr, acctTenant)
+	seal(pl, acctTenant)
+	// The rogue's edge seals its identity but does not verify — it
+	// models a tenant whose programs reach the fabric unchecked.
+	rg.NIC.SetTenant(uint8(rogueTenant))
+
+	// The hostile flood is a declarative fault-plan event, like a
+	// reboot or a loss window.
+	inj := faults.NewInjector(sim, tracer)
+	inj.RegisterHost("rogue", rg)
+	if err := inj.Schedule(faults.Plan{Seed: cfg.Seed, Events: []faults.Event{
+		{At: cfg.RogueFrom, Kind: faults.RogueTenant, Target: "rogue",
+			PPS: cfg.RoguePPS, DstMAC: rd.MAC, DstIP: rd.IP},
+	}}); err != nil {
+		panic(fmt.Sprintf("chaos: bad hostile plan: %v", err))
+	}
+
+	// Victim workload 1+2: two RCP* flows sharing the bottleneck, so
+	// each must converge to C/2.
+	params := rcp.DefaultParams()
+	ctl1 := rcp.NewStarController(sim, v1, endhost.NewProber(v1), d1.MAC, d1.IP, params)
+	ctl2 := rcp.NewStarController(sim, v2, endhost.NewProber(v2), d2.MAC, d2.IP, params)
+	ctl1.Start()
+	ctl2.Start()
+
+	// Victim workload 3: a shared tally in s1's SRAM (tenant-relative
+	// word 16 of the accounting tenant's partition).  Writer and
+	// poller approach from opposite sides; both paths transit s1.
+	tallyAddr := mem.SRAMBase + 16
+	writerProber := endhost.NewProber(wr)
+	writerProber.SetDefaults(endhost.ProbeConfig{
+		Timeout: 100 * netsim.Millisecond, Retries: 2, Backoff: 2})
+	writer := accounting.NewCounter(writerProber, pl.MAC, pl.IP,
+		s1.ID(), tallyAddr, accounting.Atomic)
+	pollProber := endhost.NewProber(pl)
+	pollProber.SetDefaults(endhost.ProbeConfig{
+		Timeout: 100 * netsim.Millisecond, Retries: 2, Backoff: 2})
+	poller := accounting.NewCounter(pollProber, wr.MAC, wr.IP,
+		s1.ID(), tallyAddr, accounting.Atomic)
+
+	var res HostileResult
+	// Stop adding well before the end so every in-flight CSTORE chain
+	// resolves and WriterDone reconciles exactly with the SRAM word.
+	addUntil := cfg.Duration - 500*netsim.Millisecond
+	sim.Every(20*netsim.Millisecond, 25*netsim.Millisecond, func() {
+		if sim.Now() < addUntil {
+			writer.Add(1, func(uint32) { res.WriterDone++ })
+		}
+	})
+	var lastValue uint32
+	sim.Every(60*netsim.Millisecond, 100*netsim.Millisecond, func() {
+		poller.Poll(func(value uint32, delta int64, discont bool) {
+			res.Polls++
+			if delta < 0 {
+				res.NegativeDeltas++
+			}
+			lastValue = value
+		})
+	})
+
+	// Sample both victims' rates every 100ms.
+	sim.Every(100*netsim.Millisecond, 100*netsim.Millisecond, func() {
+		res.V1Samples = append(res.V1Samples, ctl1.LastRate)
+		res.V2Samples = append(res.V2Samples, ctl2.LastRate)
+	})
+
+	sim.RunUntil(cfg.Duration)
+	ctl1.Stop()
+	ctl2.Stop()
+
+	// Harvest.
+	res.FairShare = float64(fabric.RateBps) / 8 / 2
+	mean := func(samples []float64, from int) float64 {
+		if from >= len(samples) {
+			return 0
+		}
+		var sum float64
+		for _, s := range samples[from:] {
+			sum += s
+		}
+		return sum / float64(len(samples)-from)
+	}
+	fromIdx := int(cfg.ConvergeFrom / (100 * netsim.Millisecond))
+	res.V1Mean = mean(res.V1Samples, fromIdx)
+	res.V2Mean = mean(res.V2Samples, fromIdx)
+
+	res.RogueSent = inj.RogueSent
+	snap := reg.Snapshot(int64(sim.Now()))
+	for i, sw := range []*asic.Switch{s0, s1} {
+		res.Denied[i] = sw.TPPsDenied()
+		res.Throttled[i] = sw.TPPsThrottled()
+		tbl := sw.Guard()
+		for _, id := range tbl.Tenants() {
+			res.DeniedTable[i] += tbl.Denied(id)
+			res.ThrottledTable[i] += tbl.Throttled(id)
+		}
+		res.RogueDenied[i] = tbl.Denied(rogueTenant)
+		res.RogueThrottled[i] = tbl.Throttled(rogueTenant)
+		for _, id := range []guard.TenantID{victim1Tenant, victim2Tenant, acctTenant} {
+			res.VictimDenied[i] += tbl.Denied(id)
+			res.VictimThrottled[i] += tbl.Throttled(id)
+		}
+		if m, ok := snap.Get(fmt.Sprintf("switch/%d/tpps_denied", sw.ID())); ok {
+			res.DeniedMetric[i] = m.Value
+		}
+		if m, ok := snap.Get(fmt.Sprintf("switch/%d/tenant/%d/tpps_denied",
+			sw.ID(), rogueTenant)); ok {
+			res.RogueDeniedMetric[i] = m.Value
+		}
+	}
+	for _, ev := range tracer.Events() {
+		if ev.Stage != obs.StageAccessDeny {
+			continue
+		}
+		switch ev.Node {
+		case s0.ID():
+			res.DeniedSpans[0]++
+		case s1.ID():
+			res.DeniedSpans[1]++
+		}
+	}
+
+	res.WriterFailures = writer.Failures
+	res.Discontinuities = poller.Discontinuities
+	res.FinalTally = lastValue
+	// Read the tally straight out of s1's SRAM through the accounting
+	// tenant's relocation — the word the writer's CSTOREs landed on.
+	if phys, ok := physSRAMAddr(s1, acctTenant, tallyAddr); ok {
+		res.TallyPhysical = s1.SRAM(mem.SRAMIndex(phys))
+	}
+
+	for _, sw := range []*asic.Switch{s0, s1} {
+		for p := 0; p < sw.Ports(); p++ {
+			port := sw.Port(p)
+			for q := 0; q < port.Queues(); q++ {
+				qu := port.Queue(q)
+				// Tail drops never enter the queue (EnqPkts + DropPkts
+				// == offered), so they are not part of the balance.
+				res.Leaked += int64(qu.EnqPkts) -
+					int64(qu.DeqPkts+qu.FlushedPkts+uint64(qu.Len()))
+			}
+		}
+	}
+	res.SpansDropped = tracer.Dropped()
+	return res
+}
+
+// physSRAMAddr resolves a tenant-relative address to its physical
+// SRAM word on the given switch.
+func physSRAMAddr(sw *asic.Switch, id guard.TenantID, a mem.Addr) (mem.Addr, bool) {
+	g, ok := sw.Guard().Lookup(id)
+	if !ok {
+		return 0, false
+	}
+	return g.CheckLoad(a)
+}

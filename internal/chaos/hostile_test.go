@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestHostileSoak runs the hostile-tenant scenario for three pinned
+// seeds and asserts the isolation contract end to end.  Each seed runs
+// twice: the Results must be identical word for word.
+func TestHostileSoak(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := DefaultHostile(seed)
+			res := RunHostile(cfg)
+			if again := RunHostile(cfg); !reflect.DeepEqual(res, again) {
+				t.Fatalf("non-deterministic soak:\nfirst  %+v\nsecond %+v", res, again)
+			}
+			checkHostile(t, res)
+		})
+	}
+}
+
+func checkHostile(t *testing.T, res HostileResult) {
+	t.Helper()
+
+	// Reconciliation is only meaningful if the ring held every span
+	// and no queue lost track of a packet.
+	if res.SpansDropped != 0 {
+		t.Fatalf("tracer dropped %d spans; raise its capacity", res.SpansDropped)
+	}
+	if res.Leaked != 0 {
+		t.Errorf("queue conservation violated: %d packets unaccounted", res.Leaked)
+	}
+
+	// The rogue actually flooded.
+	if res.RogueSent == 0 {
+		t.Fatal("rogue generator sent nothing")
+	}
+
+	for i := 0; i < 2; i++ {
+		// 1. The guard denied forged writes on both switches, and every
+		// view of the denials agrees exactly: switch counter, global
+		// metric, per-tenant metric, guard table, span stream.
+		if res.Denied[i] == 0 {
+			t.Errorf("switch %d: guard denied nothing under a forged-write flood", i)
+		}
+		if uint64(res.DeniedMetric[i]) != res.Denied[i] ||
+			res.DeniedTable[i] != res.Denied[i] ||
+			uint64(res.DeniedSpans[i]) != res.Denied[i] {
+			t.Errorf("switch %d: denial telemetry disagrees: counter=%d metric=%d table=%d spans=%d",
+				i, res.Denied[i], res.DeniedMetric[i], res.DeniedTable[i], res.DeniedSpans[i])
+		}
+		// 2. Every denial was the rogue's: statically verified victim
+		// programs never trip the dynamic guard.
+		if res.VictimDenied[i] != 0 {
+			t.Errorf("switch %d: %d victim accesses denied; verified programs must never fault",
+				i, res.VictimDenied[i])
+		}
+		if res.RogueDenied[i] != res.Denied[i] {
+			t.Errorf("switch %d: rogue denials %d != total %d",
+				i, res.RogueDenied[i], res.Denied[i])
+		}
+		if uint64(res.RogueDeniedMetric[i]) != res.RogueDenied[i] {
+			t.Errorf("switch %d: rogue per-tenant metric %d != table %d",
+				i, res.RogueDeniedMetric[i], res.RogueDenied[i])
+		}
+
+		// 3. Admission: the over-quota rogue absorbed the throttling.
+		// Victims may see a handful of throttles during the startup
+		// transient (their probes retry through them), but the rogue's
+		// flood must take at least 50x more.
+		if res.RogueThrottled[i] == 0 {
+			t.Errorf("switch %d: rogue flood never throttled", i)
+		}
+		if res.VictimThrottled[i]*50 > res.RogueThrottled[i] {
+			t.Errorf("switch %d: victims throttled %d times vs rogue %d; quota failed to shield them",
+				i, res.VictimThrottled[i], res.RogueThrottled[i])
+		}
+		if res.ThrottledTable[i] != res.Throttled[i] {
+			t.Errorf("switch %d: throttle table %d != counter %d",
+				i, res.ThrottledTable[i], res.Throttled[i])
+		}
+	}
+
+	// 4. Both victim flows converged to their fair share of the
+	// bottleneck while the flood ran.
+	for name, mean := range map[string]float64{"v1": res.V1Mean, "v2": res.V2Mean} {
+		if math.Abs(mean-res.FairShare)/res.FairShare > 0.10 {
+			t.Errorf("%s rate %.0f B/s, want within 10%% of fair share %.0f",
+				name, mean, res.FairShare)
+		}
+	}
+
+	// 5. The victim tally survived the flood byte-exact: every
+	// acknowledged add landed, nothing else touched the word, and the
+	// poller saw a clean monotone counter throughout.
+	if res.Polls == 0 {
+		t.Fatal("poller never completed a poll")
+	}
+	if res.WriterDone == 0 {
+		t.Fatal("writer never completed an add")
+	}
+	if res.WriterFailures != 0 {
+		t.Errorf("%d adds abandoned on an uncontended counter", res.WriterFailures)
+	}
+	if uint64(res.TallyPhysical) != res.WriterDone {
+		t.Errorf("tally word = %d, want %d (one per acknowledged add)",
+			res.TallyPhysical, res.WriterDone)
+	}
+	if res.NegativeDeltas != 0 || res.Discontinuities != 0 {
+		t.Errorf("victim accounting corrupted: %d negative deltas, %d discontinuities",
+			res.NegativeDeltas, res.Discontinuities)
+	}
+	if uint64(res.FinalTally) > res.WriterDone {
+		t.Errorf("poller read %d, above the %d acknowledged adds",
+			res.FinalTally, res.WriterDone)
+	}
+}

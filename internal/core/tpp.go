@@ -47,6 +47,13 @@ const (
 	// TCPU (echo returns, flag set, hop record missing) from a
 	// blackhole (no echo at all).
 	FlagThrottled uint8 = 1 << 2
+	// FlagAccessFault is set by a switch whose tenant guard denied at
+	// least one of the program's memory accesses: a denied LOAD returned
+	// the poison value, a denied STORE was dropped, and execution
+	// continued — fail-forward, the gate protects state but never stalls
+	// the dataplane.  End-hosts see the bit on the echo and know their
+	// program touched memory outside its grant.
+	FlagAccessFault uint8 = 1 << 3
 )
 
 // TPPVersion is the wire format version implemented by this package.
@@ -83,6 +90,12 @@ type TPP struct {
 	// end-host; its length never changes inside the network.  Length
 	// is always a multiple of 4.
 	Mem []byte
+	// Tenant is the isolation principal the program runs as.  It is
+	// stamped and sealed by the trusted edge (the endhost NIC overwrites
+	// whatever a guest supplied), so guarded switches can attribute every
+	// memory access and admission token to a tenant.  Zero is the
+	// operator tenant, which keeps untenanted legacy traffic meaningful.
+	Tenant uint8
 }
 
 // NewTPP builds a TPP with memWords words of zeroed packet memory.
@@ -183,7 +196,7 @@ func (t *TPP) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(t.MemWords()))
 	b = binary.BigEndian.AppendUint16(b, t.Ptr)
 	b = binary.BigEndian.AppendUint16(b, t.HopLen)
-	b = append(b, 0, 0) // reserved, keeps the header 4-byte aligned
+	b = append(b, t.Tenant, 0) // tenant id + reserved, keeps 4-byte alignment
 	for _, in := range t.Ins {
 		b = binary.BigEndian.AppendUint32(b, in.Word())
 	}
@@ -204,6 +217,7 @@ func ParseTPP(b []byte, t *TPP) (int, error) {
 	memWords := int(binary.BigEndian.Uint16(b[4:6]))
 	t.Ptr = binary.BigEndian.Uint16(b[6:8])
 	t.HopLen = binary.BigEndian.Uint16(b[8:10])
+	t.Tenant = b[10]
 	n := TPPHeaderLen
 	need := n + nIns*InstructionLen + memWords*4
 	if len(b) < need {

@@ -27,6 +27,7 @@ func TestTPPSerializeParseRoundTrip(t *testing.T) {
 	tpp.HopLen = 8
 	tpp.Ptr = 2
 	tpp.Flags = FlagError
+	tpp.Tenant = 9
 	tpp.SetWord(3, 0xDEADBEEF)
 
 	wire := tpp.AppendTo(nil)
@@ -44,6 +45,9 @@ func TestTPPSerializeParseRoundTrip(t *testing.T) {
 	if out.Mode != AddrHop || out.Ptr != 2 || out.HopLen != 8 || out.Flags != FlagError {
 		t.Fatalf("header mismatch: %+v", out)
 	}
+	if out.Tenant != 9 {
+		t.Fatalf("tenant id lost on the wire: %d", out.Tenant)
+	}
 	if len(out.Ins) != 2 || out.Ins[1] != tpp.Ins[1] {
 		t.Fatalf("instructions mismatch: %+v", out.Ins)
 	}
@@ -56,13 +60,14 @@ func TestTPPSerializeParseRoundTrip(t *testing.T) {
 // the serialized length always matches WireLen (the Figure 4 / §3.3
 // length formula).
 func TestTPPRoundTripQuick(t *testing.T) {
-	f := func(seed int64, nIns, memWords uint8, mode bool, ptr uint16) bool {
+	f := func(seed int64, nIns, memWords uint8, mode bool, ptr uint16, tenant uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		m := AddrStack
 		if mode {
 			m = AddrHop
 		}
 		tpp := NewTPP(m, randomInstructions(r, int(nIns%16)), int(memWords%32))
+		tpp.Tenant = tenant
 		if m == AddrHop {
 			tpp.HopLen = uint16(r.Intn(8)) * 4
 			tpp.Ptr = ptr % 64
@@ -80,6 +85,9 @@ func TestTPPRoundTripQuick(t *testing.T) {
 			return false
 		}
 		if out.Mode != tpp.Mode || out.Ptr != tpp.Ptr || out.HopLen != tpp.HopLen {
+			return false
+		}
+		if out.Tenant != tpp.Tenant {
 			return false
 		}
 		if len(out.Ins) != len(tpp.Ins) {

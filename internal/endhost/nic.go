@@ -25,6 +25,7 @@ type NIC struct {
 
 	verifier  *verify.Config
 	mRejected *obs.Counter
+	tenant    uint8
 
 	// Drops counts transmit-queue tail drops.
 	Drops uint64
@@ -76,9 +77,26 @@ func (n *NIC) SetVerifier(cfg *verify.Config, rejected *obs.Counter) {
 	n.mRejected = rejected
 }
 
+// SetTenant binds the NIC to an isolation principal.  The NIC is the
+// trusted edge of the tenant guard — the hypervisor vswitch of the
+// extended paper — so Send stamps every outgoing TPP with this id,
+// overwriting whatever the guest wrote: identities are sealed at the
+// edge, never claimed by guests.  An unconfigured NIC is an
+// infrastructure (operator, id 0) NIC.
+func (n *NIC) SetTenant(id uint8) { n.tenant = id }
+
+// Tenant returns the sealed tenant id.
+func (n *NIC) Tenant() uint8 { return n.tenant }
+
 // Send queues the packet for transmission, returning false on a tail
 // drop or a verifier rejection.
 func (n *NIC) Send(pkt *core.Packet) bool {
+	if pkt.TPP != nil {
+		// Seal the tenant identity before anything else — including
+		// verification, which must judge the program as the tenant it
+		// will actually run as.
+		pkt.TPP.Tenant = n.tenant
+	}
 	if n.verifier != nil && pkt.TPP != nil {
 		n.LastVerify = verify.Verify(pkt.TPP, *n.verifier)
 		if !n.LastVerify.OK() {

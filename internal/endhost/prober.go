@@ -96,6 +96,12 @@ func (p *Prober) SetEpochTracker(t *EpochTracker) { p.epochs = t }
 // Outstanding returns the number of probes awaiting echoes.
 func (p *Prober) Outstanding() int { return len(p.pending) }
 
+// After runs fn once d has elapsed on the host's clock.  Probe clients
+// use it to pace their own application-level retries — e.g. backing
+// off after an echo shows the program was throttled by an admission
+// gate — without reaching into the simulator directly.
+func (p *Prober) After(d netsim.Time, fn func()) { p.host.Sim.After(d, fn) }
+
 // Probe sends tpp toward the destination host; fn runs when the echo
 // returns, with the executed program (its packet memory filled in by
 // the switches on the forward path).  The prober's default ProbeConfig

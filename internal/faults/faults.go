@@ -3,10 +3,11 @@
 // paper stresses that "TPPs are therefore subject to congestion" and
 // motivates ndb with failure localization; this package supplies the
 // failure axis — link down/up flaps, Bernoulli and Gilbert–Elliott
-// (bursty) frame loss, TCAM blackhole rules, and per-switch TCPU kill
-// switches — so every end-host mechanism (probe retry, RCP*
-// degradation, blackhole localization) can be exercised against a
-// misbehaving network and replayed exactly by seed.
+// (bursty) frame loss, TCAM blackhole rules, per-switch TCPU kill
+// switches, and hostile-tenant TPP floods — so every end-host
+// mechanism (probe retry, RCP* degradation, blackhole localization,
+// tenant isolation) can be exercised against a misbehaving network
+// and replayed exactly by seed.
 //
 // Targets are registered by name on an Injector; a Plan is a list of
 // timed Events against those names.  Every applied event is visible in
@@ -16,8 +17,12 @@ package faults
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/tcam"
@@ -61,6 +66,17 @@ const (
 	// resumes forwarding with TCAM/L3 reloaded from config.  Recovery
 	// is autonomous (no paired clear event).
 	SwitchReboot
+	// RogueTenant turns the target host (RegisterHost) into a hostile
+	// tenant: a seeded generator floods forged write-TPPs — STOREs
+	// aimed at random absolute SRAM words and other tenants' port
+	// scratch registers — at PPS packets per second toward
+	// DstMAC/DstIP.  The host's NIC still seals the tenant id, so the
+	// forgeries land as whoever the NIC says they are; guarded
+	// switches deny the writes and throttle the flood per-tenant.
+	RogueTenant
+	// ClearRogue stops the generator RogueTenant started on the
+	// target host.
+	ClearRogue
 )
 
 // DefaultBootDelay is how long a rebooted switch stays dark when the
@@ -78,6 +94,8 @@ var kindNames = [...]string{
 	TCPUOff:        "tcpu-off",
 	TCPUOn:         "tcpu-on",
 	SwitchReboot:   "switch-reboot",
+	RogueTenant:    "rogue-tenant",
+	ClearRogue:     "clear-rogue",
 }
 
 // String names the kind.
@@ -92,7 +110,7 @@ func (k Kind) String() string {
 // injecting one (selects the span stage).
 func (k Kind) recovers() bool {
 	switch k {
-	case LinkUp, ClearLoss, ClearBlackhole, TCPUOn:
+	case LinkUp, ClearLoss, ClearBlackhole, TCPUOn, ClearRogue:
 		return true
 	}
 	return false
@@ -113,11 +131,17 @@ type Event struct {
 	// PGoodBad, PBadGood, LossGood and LossBad parameterize
 	// LinkBurstyLoss (see netsim.GilbertElliott).
 	PGoodBad, PBadGood, LossGood, LossBad float64
-	// DstIP is the destination the Blackhole rule swallows.
+	// DstIP is the destination the Blackhole rule swallows, and the
+	// destination RogueTenant forgeries are addressed to.
 	DstIP uint32
 	// BootDelay is how long a SwitchReboot keeps the switch dark
 	// before it resumes forwarding; zero selects DefaultBootDelay.
 	BootDelay netsim.Time
+
+	// PPS is the RogueTenant flood rate in packets per second.
+	PPS float64
+	// DstMAC is the destination RogueTenant forgeries are framed to.
+	DstMAC core.MAC
 }
 
 // Plan is a declarative fault schedule.  The same plan with the same
@@ -157,14 +181,21 @@ type Injector struct {
 
 	links    map[string][]*netsim.Channel
 	switches map[string]*asic.Switch
+	hosts    map[string]*endhost.Host
 
 	// ruleIDs remembers the TCAM entry a Blackhole event installed,
 	// keyed by target+destination, so ClearBlackhole can remove it.
 	ruleIDs map[string]uint32
+	// rogues holds the running hostile generator per host target, so
+	// ClearRogue can stop it.
+	rogues map[string]*netsim.Ticker
 
 	// Injected and Recovered count applied events by direction.
 	Injected  uint64
 	Recovered uint64
+	// RogueSent counts forged TPPs the rogue generators handed to
+	// their NICs (whether or not the NIC accepted them).
+	RogueSent uint64
 	// Log lists every applied event in application order.
 	Log []Applied
 }
@@ -176,7 +207,9 @@ func NewInjector(sim *netsim.Sim, tracer *obs.Tracer) *Injector {
 		sim: sim, tracer: tracer,
 		links:    make(map[string][]*netsim.Channel),
 		switches: make(map[string]*asic.Switch),
+		hosts:    make(map[string]*endhost.Host),
 		ruleIDs:  make(map[string]uint32),
+		rogues:   make(map[string]*netsim.Ticker),
 	}
 }
 
@@ -193,6 +226,13 @@ func (in *Injector) RegisterLink(name string, chs ...*netsim.Channel) {
 // RegisterSwitch names a switch for Blackhole and TCPU events.
 func (in *Injector) RegisterSwitch(name string, sw *asic.Switch) {
 	in.switches[name] = sw
+}
+
+// RegisterHost names a host for RogueTenant events.  Which tenant the
+// rogue's forgeries execute as is decided by the host's NIC (the
+// trusted edge), not by the fault plan.
+func (in *Injector) RegisterHost(name string, h *endhost.Host) {
+	in.hosts[name] = h
 }
 
 // Schedule validates the plan and arms every event on the simulator.
@@ -227,6 +267,13 @@ func (in *Injector) validate(ev Event) error {
 		}
 		if ev.BootDelay < 0 {
 			return fmt.Errorf("negative boot delay %v", ev.BootDelay)
+		}
+	case RogueTenant, ClearRogue:
+		if _, ok := in.hosts[ev.Target]; !ok {
+			return fmt.Errorf("unknown host %q", ev.Target)
+		}
+		if ev.Kind == RogueTenant && ev.PPS <= 0 {
+			return fmt.Errorf("rogue PPS = %v, want > 0", ev.PPS)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %d", ev.Kind)
@@ -302,6 +349,13 @@ func (in *Injector) apply(ev Event, seed int64) {
 			delay = DefaultBootDelay
 		}
 		in.switches[ev.Target].Reboot(delay)
+	case RogueTenant:
+		in.startRogue(ev, seed)
+	case ClearRogue:
+		if tk, ok := in.rogues[ev.Target]; ok {
+			tk.Stop()
+			delete(in.rogues, ev.Target)
+		}
 	}
 
 	if ev.Kind.recovers() {
@@ -317,6 +371,54 @@ func blackholeKey(target string, ip uint32) string {
 	return fmt.Sprintf("%s/%08x", target, ip)
 }
 
+// roguePort is the UDP port rogue forgeries travel on — deliberately
+// not the probe echo port, so victims don't amplify the flood.
+const roguePort = 6666
+
+// startRogue arms the hostile generator: a ticker forging one
+// write-TPP per period from the event's seeded rng.  A second
+// RogueTenant event on the same target replaces the running generator
+// rather than stacking a second one.
+func (in *Injector) startRogue(ev Event, seed int64) {
+	if tk, ok := in.rogues[ev.Target]; ok {
+		tk.Stop()
+	}
+	h := in.hosts[ev.Target]
+	rng := rand.New(rand.NewSource(seed))
+	period := netsim.Time(float64(netsim.Second) / ev.PPS)
+	if period <= 0 {
+		period = 1
+	}
+	in.rogues[ev.Target] = in.sim.Every(in.sim.Now()+period, period, func() {
+		in.RogueSent++
+		h.Send(forgedTPP(h, rng, ev))
+	})
+}
+
+// forgedTPP builds one hostile write: a STORE of a random value aimed
+// at a random absolute SRAM word (almost always someone else's
+// partition) or, one time in four, at the port scratch registers that
+// hold other tenants' control state.  The address stream comes from
+// the event's seeded rng, so a plan replays the identical forgery
+// sequence.
+func forgedTPP(h *endhost.Host, rng *rand.Rand, ev Event) *core.Packet {
+	addr := mem.SRAMBase + mem.Addr(rng.Intn(mem.SRAMWords))
+	if rng.Intn(4) == 0 {
+		addr = mem.PortBase + mem.PortScratchBase + mem.Addr(rng.Intn(mem.PortScratchWords))
+	}
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpSTORE, A: uint16(addr), B: 0},
+	}, 1)
+	tpp.SetWord(0, rng.Uint32())
+	return &core.Packet{
+		Eth:  core.Ethernet{Dst: ev.DstMAC, Src: h.MAC, Type: core.EtherTypeTPP},
+		TPP:  tpp,
+		IP:   &core.IPv4{TTL: 64, Proto: core.ProtoUDP, Src: h.IP, Dst: ev.DstIP},
+		UDP:  &core.UDP{SrcPort: roguePort, DstPort: roguePort},
+		Meta: core.Metadata{UID: h.NextUID()},
+	}
+}
+
 // recordSpan emits the fault event into the packet-lifecycle span
 // stream (UID 0: no packet).  Node carries the target's identity: the
 // switch id for switch faults, the first channel's trace id for link
@@ -328,6 +430,8 @@ func (in *Injector) recordSpan(ev Event) {
 	var node uint32
 	if sw, ok := in.switches[ev.Target]; ok {
 		node = sw.ID()
+	} else if h, ok := in.hosts[ev.Target]; ok {
+		node = uint32(h.MAC.Uint64() & 0xFFFFFF)
 	} else if chs := in.links[ev.Target]; len(chs) > 0 {
 		node = chs[0].TraceID()
 	}

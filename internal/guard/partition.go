@@ -1,0 +1,98 @@
+package guard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Partitioner carves the scratch SRAM bank into non-overlapping
+// per-tenant regions using deterministic first-fit over the gaps
+// between existing grants.  It is the tenant-facing sibling of the
+// task-facing mem.Allocator: one partition per tenant, grants and
+// revokes in any order, and two invariants that partition_prop_test.go
+// property-tests across random grant/revoke sequences:
+//
+//  1. no two live partitions ever overlap, and every partition lies
+//     entirely inside [SRAMBase, SRAMBase+SRAMWords);
+//  2. relocation through the resulting Grant is a bijection from the
+//     tenant's 0..Words-1 window onto its physical region.
+//
+// The operator tenant is not carved here: its identity-mapped
+// whole-bank partition is an infrastructure overlay (OperatorGrant),
+// deliberately allowed to alias every tenant's memory.
+//
+// Partitioner is not safe for concurrent use; the control plane
+// serializes tenancy changes.
+type Partitioner struct {
+	regions map[TenantID]mem.Region
+}
+
+// NewPartitioner builds an empty partitioner over the SRAM bank.
+func NewPartitioner() *Partitioner {
+	return &Partitioner{regions: make(map[TenantID]mem.Region)}
+}
+
+// Grant reserves words of SRAM for tenant id.  Granting the operator,
+// a zero or negative size, a second region for a live tenant, or more
+// words than any gap holds all fail without changing state.
+func (p *Partitioner) Grant(id TenantID, words int) (mem.Region, error) {
+	if id == Operator {
+		return mem.Region{}, fmt.Errorf("guard: the operator tenant owns the whole bank")
+	}
+	if words <= 0 {
+		return mem.Region{}, fmt.Errorf("guard: tenant %d requested %d words", id, words)
+	}
+	if words > mem.SRAMWords {
+		return mem.Region{}, fmt.Errorf("guard: tenant %d requested %d words, bank holds %d", id, words, mem.SRAMWords)
+	}
+	if _, ok := p.regions[id]; ok {
+		return mem.Region{}, fmt.Errorf("guard: tenant %d already holds a partition", id)
+	}
+	taken := make([]mem.Region, 0, len(p.regions))
+	for _, r := range p.regions { //lint:allow maporder (sorted below)
+		taken = append(taken, r)
+	}
+	sort.Slice(taken, func(i, j int) bool { return taken[i].Base < taken[j].Base })
+	cursor := mem.SRAMBase
+	for _, r := range taken {
+		if int(r.Base-cursor) >= words {
+			break
+		}
+		cursor = r.End()
+	}
+	if int(mem.SRAMBase)+mem.SRAMWords-int(cursor) < words {
+		return mem.Region{}, fmt.Errorf("guard: SRAM exhausted: tenant %d wants %d words", id, words)
+	}
+	reg := mem.Region{Base: cursor, Words: words}
+	p.regions[id] = reg
+	return reg, nil
+}
+
+// Revoke releases tenant id's partition, returning the region so the
+// caller can zero its words (asic.Switch.RevokeTenant does).
+func (p *Partitioner) Revoke(id TenantID) (mem.Region, error) {
+	r, ok := p.regions[id]
+	if !ok {
+		return mem.Region{}, fmt.Errorf("guard: tenant %d holds no partition", id)
+	}
+	delete(p.regions, id)
+	return r, nil
+}
+
+// Lookup returns tenant id's partition.
+func (p *Partitioner) Lookup(id TenantID) (mem.Region, bool) {
+	r, ok := p.regions[id]
+	return r, ok
+}
+
+// Tenants returns the ids of all tenants holding partitions, sorted.
+func (p *Partitioner) Tenants() []TenantID {
+	ids := make([]TenantID, 0, len(p.regions))
+	for id := range p.regions { //lint:allow maporder (sorted before return)
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

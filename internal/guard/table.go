@@ -1,0 +1,186 @@
+package guard
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/netsim"
+)
+
+// DefaultBurst is a tenant's token bucket depth when registered without
+// an explicit burst, mirroring the global gate's default.
+const DefaultBurst = 8
+
+// tenantState is one tenant's runtime record: its grant (config) plus
+// the soft state the grant governs — admission bucket and denial
+// accounting.
+type tenantState struct {
+	grant Grant
+
+	// Admission token bucket (soft state, refilled on reboot).
+	tokens   float64
+	refillAt netsim.Time
+
+	// Cumulative accounting, one increment per event so the switch
+	// counter, the metric and the span stream reconcile exactly.
+	denied    uint64 // guarded accesses denied (poisoned loads + dropped stores)
+	throttled uint64 // TPPs declined by this tenant's bucket
+}
+
+// Table is the switch-resident tenant registry: every grant in force on
+// one switch, plus the per-tenant admission buckets that split the
+// switch's aggregate TPP budget by weighted share.  The operator tenant
+// is built in — always present, never registered, exempt from
+// admission — so an unguarded switch and a guarded switch carrying only
+// operator traffic behave identically.
+//
+// Table is not safe for concurrent use; the simulated dataplane is
+// single-threaded per switch and the control plane serializes tenancy
+// changes.
+type Table struct {
+	part      *Partitioner
+	tenants   map[TenantID]*tenantState
+	weightSum float64
+}
+
+// NewTable builds an empty tenant table over a fresh SRAM partitioner.
+func NewTable() *Table {
+	return &Table{
+		part:    NewPartitioner(),
+		tenants: make(map[TenantID]*tenantState),
+	}
+}
+
+// Register admits tenant id with the given policy: acl governs its
+// namespace access, words sizes its SRAM partition, weight its share of
+// the switch's aggregate TPP admission rate, and burst its bucket
+// depth.  Zero weight resolves to 1 and zero burst to DefaultBurst.
+// The new bucket starts full.  Registering the operator or an already
+// registered tenant fails without changing state.
+func (t *Table) Register(id TenantID, acl ACL, words int, weight float64, burst int) (Grant, error) {
+	if id == Operator {
+		return Grant{}, fmt.Errorf("guard: the operator tenant is built in")
+	}
+	if _, ok := t.tenants[id]; ok {
+		return Grant{}, fmt.Errorf("guard: tenant %d already registered", id)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	reg, err := t.part.Grant(id, words)
+	if err != nil {
+		return Grant{}, err
+	}
+	g := Grant{ACL: acl, Partition: reg, Weight: weight, Burst: burst}
+	t.tenants[id] = &tenantState{grant: g, tokens: float64(burst)}
+	t.weightSum += weight
+	return g, nil
+}
+
+// Deregister removes tenant id, returning its partition so the caller
+// can zero the words before they are re-granted.
+func (t *Table) Deregister(id TenantID) (mem.Region, error) {
+	st, ok := t.tenants[id]
+	if !ok {
+		return mem.Region{}, fmt.Errorf("guard: tenant %d not registered", id)
+	}
+	reg, err := t.part.Revoke(id)
+	if err != nil {
+		return mem.Region{}, err
+	}
+	t.weightSum -= st.grant.Weight
+	delete(t.tenants, id)
+	return reg, nil
+}
+
+// Lookup returns tenant id's grant.  The operator always resolves to
+// its built-in whole-bank grant; an unregistered tenant resolves to
+// nothing, and the guard denies it everything.
+func (t *Table) Lookup(id TenantID) (Grant, bool) {
+	if id == Operator {
+		return OperatorGrant(), true
+	}
+	st, ok := t.tenants[id]
+	if !ok {
+		return Grant{}, false
+	}
+	return st.grant, true
+}
+
+// Admit charges tenant id's bucket one TPP execution at simulated time
+// now, where rate is the switch's aggregate admission rate (TPPRate).
+// The tenant's refill share is rate * Weight / ΣWeights, so a flooding
+// tenant drains only its own bucket.  The operator is exempt, a
+// non-positive rate disables the gate, and an unregistered tenant has
+// no bucket to charge — its TPPs are throttled, not executed.
+func (t *Table) Admit(id TenantID, now netsim.Time, rate float64) bool {
+	if id == Operator || rate <= 0 {
+		return true
+	}
+	st, ok := t.tenants[id]
+	if !ok {
+		return false
+	}
+	if now > st.refillAt {
+		share := rate * st.grant.Weight / t.weightSum
+		st.tokens += (now - st.refillAt).Seconds() * share
+		if max := float64(st.grant.Burst); st.tokens > max {
+			st.tokens = max
+		}
+	}
+	st.refillAt = now
+	if st.tokens < 1 {
+		st.throttled++
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+// NoteDenied records one denied guarded access for tenant id (the
+// memory-stage counterpart of the tpps_denied metric and the
+// StageAccessDeny span).  Unregistered tenants are counted too — their
+// every access is a denial.
+func (t *Table) NoteDenied(id TenantID) {
+	if st, ok := t.tenants[id]; ok {
+		st.denied++
+	}
+}
+
+// Denied returns tenant id's cumulative denied-access count.
+func (t *Table) Denied(id TenantID) uint64 {
+	if st, ok := t.tenants[id]; ok {
+		return st.denied
+	}
+	return 0
+}
+
+// Throttled returns how many of tenant id's TPPs its bucket declined.
+func (t *Table) Throttled(id TenantID) uint64 {
+	if st, ok := t.tenants[id]; ok {
+		return st.throttled
+	}
+	return 0
+}
+
+// Tenants returns the registered tenant ids, sorted (the operator is
+// built in and not listed).
+func (t *Table) Tenants() []TenantID { return t.part.Tenants() }
+
+// Partition returns tenant id's physical SRAM region.
+func (t *Table) Partition(id TenantID) (mem.Region, bool) { return t.part.Lookup(id) }
+
+// ResetBuckets refills every tenant's bucket and rebases its refill
+// clock — the buckets are switch soft state, so a crash-restart boots
+// them full just like the global gate.  Grants and cumulative denial
+// accounting survive: they are config and host-visible history.
+func (t *Table) ResetBuckets(now netsim.Time) {
+	for _, id := range t.part.Tenants() {
+		st := t.tenants[id]
+		st.tokens = float64(st.grant.Burst)
+		st.refillAt = now
+	}
+}

@@ -91,6 +91,13 @@ const (
 	// of) a switch that was down rebooting, and was dropped.  A=input
 	// port, B=wire bytes.
 	StageRebootDrop
+	// StageAccessDeny: the tenant guard denied one memory access in the
+	// TCPU memory stage (fail-forward: a denied LOAD returned the poison
+	// value, a denied STORE was dropped, and execution continued).  One
+	// event per denied access, so the span stream reconciles exactly
+	// against the tpps_denied counters.  A=denied word address shifted
+	// left one with the write bit in bit 0, B=tenant id.
+	StageAccessDeny
 )
 
 var stageNames = [...]string{
@@ -117,6 +124,7 @@ var stageNames = [...]string{
 	StageSwitchReboot: "switch-reboot",
 	StageSwitchUp:     "switch-up",
 	StageRebootDrop:   "reboot-drop",
+	StageAccessDeny:   "access-deny",
 }
 
 // String names the stage.

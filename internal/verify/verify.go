@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/mem"
 	"repro/internal/tcpu"
 )
@@ -40,6 +41,14 @@ const (
 	CodeReadOnly Code = "read-only-store"
 	// CodeModeMismatch: PUSH/POP outside stack addressing mode.
 	CodeModeMismatch Code = "mode-mismatch"
+	// CodeACLDenied: the tenant's ACL denies the access class on this
+	// namespace — at runtime the guard would poison the load or drop
+	// the store and set FlagAccessFault.
+	CodeACLDenied Code = "acl-denied"
+	// CodePartitionOOB: an SRAM access falls outside the tenant's
+	// base+bounds partition (tenant-relative addresses run from word 0
+	// to the partition size).
+	CodePartitionOOB Code = "partition-oob"
 	// CodeOverBudget: the instruction retires past the per-packet
 	// cycle budget, so the program cannot run at line rate.
 	CodeOverBudget Code = "over-budget"
@@ -138,6 +147,14 @@ type Config struct {
 	// means unknown (the whole window is assumed mapped, the
 	// permissive end-host default).
 	Ports int
+	// Grant, when non-nil, additionally checks every switch-memory
+	// access against a tenant's entitlement: the per-namespace ACL and
+	// the SRAM partition bounds.  The check calls the same
+	// guard.Grant.CheckLoad/CheckStore the dataplane guard enforces
+	// with, so a program that verifies under a grant never triggers a
+	// dynamic FlagAccessFault on a switch honoring that grant — the
+	// injection-time rejection the extended paper's edge demands.
+	Grant *guard.Grant
 }
 
 func (c Config) maxIns() int {
@@ -310,18 +327,56 @@ func (w *walker) checkPkt(pc, i int, what string) bool {
 	return false
 }
 
-// checkLoad verifies that switch address a is a mapped register.
+// checkLoad verifies that switch address a is a mapped register and,
+// under a tenant grant, that the tenant may read it.
 func (w *walker) checkLoad(pc int, a uint16) {
 	if !mem.Readable(mem.Addr(a), w.cfg.Ports) {
 		w.diag(pc, CodeUnmapped, Err, "load from unmapped address %s (%#x)", mem.NameOf(mem.Addr(a)), mem.Addr(a).ByteAddr())
+		return
 	}
+	w.checkGrant(pc, mem.Addr(a), false)
 }
 
-// checkStore verifies that switch address a accepts TPP stores.
+// checkGrant rejects any access the tenant's grant would deny at
+// runtime, deciding through the same CheckLoad/CheckStore the guard
+// uses — which is what makes static acceptance imply dynamic silence.
+func (w *walker) checkGrant(pc int, addr mem.Addr, write bool) {
+	g := w.cfg.Grant
+	if g == nil {
+		return
+	}
+	ok := false
+	if write {
+		_, ok = g.CheckStore(addr)
+	} else {
+		_, ok = g.CheckLoad(addr)
+	}
+	if ok {
+		return
+	}
+	verb, access := "load from", "read"
+	if write {
+		verb, access = "store to", "write"
+	}
+	ns := mem.NamespaceOf(addr)
+	if ns == mem.NSSRAM && g.ACL.Allows(ns, write) {
+		w.diag(pc, CodePartitionOOB, Err,
+			"%s %s (%#x): SRAM word %d is outside the tenant's %d-word partition",
+			verb, mem.NameOf(addr), addr.ByteAddr(), mem.SRAMIndex(addr), g.Words())
+		return
+	}
+	w.diag(pc, CodeACLDenied, Err,
+		"%s %s (%#x): the tenant ACL denies %s access to the %s namespace",
+		verb, mem.NameOf(addr), addr.ByteAddr(), access, ns)
+}
+
+// checkStore verifies that switch address a accepts TPP stores and,
+// under a tenant grant, that the tenant may write it.
 func (w *walker) checkStore(pc int, a uint16) {
 	addr := mem.Addr(a)
 	switch {
 	case mem.StoreOK(addr, w.cfg.Ports):
+		w.checkGrant(pc, addr, true)
 	case mem.Writable(addr):
 		w.diag(pc, CodeUnmapped, Err, "store to unmapped address %s (%#x)", mem.NameOf(addr), addr.ByteAddr())
 	case mem.Readable(addr, w.cfg.Ports):
