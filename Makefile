@@ -5,7 +5,7 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet lint test race check soak fuzz bench bench-json experiments clean
+.PHONY: all build vet lint test race check soak fuzz bench bench-json bench-save experiments clean
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
@@ -61,6 +61,14 @@ bench:
 # bench-json emits the same run in `go test -json` form for tooling.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -json .
+
+# bench-save runs the benchmarks and commits the measured numbers to
+# BENCH_obs.json via tools/benchjson, which fails if any benchmark
+# produced no result.  Set BENCHTIME=2s for publication-grade numbers;
+# the default 1x is the smoke/CI setting.
+bench-save:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -json . \
+		| $(GO) run ./tools/benchjson -o BENCH_obs.json
 
 # experiments regenerates every paper artifact with telemetry enabled.
 experiments:

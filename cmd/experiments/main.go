@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	experiments [-out DIR] [-metrics FILE] [-trace FILE] <experiment>
+//	experiments [-out DIR] [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig4 fig5 microburst ndb
-// blackhole wireless all
+// blackhole wireless rtthist spinbit all
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles on clean
+// exit (inspect with `go tool pprof`).
 //
 // -metrics and -trace enable the telemetry subsystem (internal/obs) for
 // the experiments that support it (microburst, ndb, fig2): the final
@@ -21,6 +24,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/obs"
@@ -51,10 +56,13 @@ var experiments = []experiment{
 	{"fct", "extension: flow completion time, RCP* vs AIMD", runFCT},
 	{"reboot", "robustness: switch crash-restart chaos soak", runReboot},
 	{"hostile", "robustness: hostile-tenant isolation soak", runHostile},
+	{"rtthist", "in-band dataplane RTT histogram vs host ground truth", runRTTHist},
+	{"spinbit", "passive spin-bit RTT observer at a mid-path switch", runSpinBit},
 }
 
 func main() {
 	outDir, metricsPath, tracePath := "", "", ""
+	cpuProfile, memProfile := "", ""
 	args := os.Args[1:]
 	for len(args) >= 2 {
 		switch args[0] {
@@ -64,6 +72,10 @@ func main() {
 			metricsPath = args[1]
 		case "-trace":
 			tracePath = args[1]
+		case "-cpuprofile":
+			cpuProfile = args[1]
+		case "-memprofile":
+			memProfile = args[1]
 		default:
 			usage()
 			os.Exit(2)
@@ -75,6 +87,21 @@ func main() {
 		os.Exit(2)
 	}
 	name := args[0]
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(memProfile)
 
 	out := &output{dir: outDir, w: os.Stdout}
 	if metricsPath != "" {
@@ -147,8 +174,25 @@ func dumpTelemetry(out *output, metricsPath, tracePath string) error {
 	return nil
 }
 
+// writeMemProfile dumps a GC-settled heap profile on clean exit.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-out DIR] [-metrics FILE] [-trace FILE] <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-out DIR] [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>")
 	names := make([]string, 0, len(experiments)+1)
 	for _, e := range experiments {
 		names = append(names, fmt.Sprintf("  %-11s %s", e.name, e.about))

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tppsim [-topo line|dumbbell] [-switches N] [-load] [-metrics FILE] [-trace FILE] [file.tpp]
+//	tppsim [-topo line|dumbbell] [-switches N] [-load] [-metrics FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] [file.tpp]
 //
 // The program is read from file.tpp (or stdin).  With -load, a
 // 20-packet burst is queued ahead of the probe so queue statistics are
@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/asic"
 	"repro/internal/asm"
@@ -37,7 +39,22 @@ func main() {
 	load := flag.Bool("load", false, "queue a burst ahead of the probe")
 	metricsPath := flag.String("metrics", "", `write a JSONL metrics snapshot here ("-" for stdout)`)
 	tracePath := flag.String("trace", "", `write the packet-lifecycle span log here as JSONL ("-" for stdout)`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile here on exit (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	src, err := readInput(flag.Args())
 	if err != nil {
@@ -177,6 +194,23 @@ func readInput(args []string) (string, error) {
 	}
 	b, err := os.ReadFile(args[0])
 	return string(b), err
+}
+
+// writeMemProfile dumps a GC-settled heap profile on clean exit.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tppsim:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tppsim:", err)
+	}
 }
 
 func fail(err error) {

@@ -145,6 +145,7 @@ type Switch struct {
 	busMu sync.Mutex // serializes TPP stores, making CSTORE linearizable
 
 	packets       uint64 // packets switched
+	cstores       uint64 // CSTORE commits (compare matched, store applied)
 	tppsExecuted  uint64
 	tppsStripped  uint64
 	tppsRejected  uint64 // stripped by the paranoid verifier
@@ -172,6 +173,11 @@ type Switch struct {
 	// caches the per-tenant denial metric handles.
 	guard         *guard.Table
 	mTenantDenied map[guard.TenantID]*obs.Counter
+
+	// spin holds the fixed-function spin-bit observers (§4-style
+	// comparator; nil when none are installed).  The slice keeps watch
+	// iteration deterministic.
+	spin []*spinWatch
 
 	mirror ForwardFunc
 
@@ -206,6 +212,9 @@ type switchMetrics struct {
 	blackholes    *obs.Counter
 	reboots       *obs.Counter
 	rebootDrops   *obs.Counter
+	cstores       *obs.Counter // CSTORE commits
+	spinEdges     *obs.Counter // spin-bit transitions observed
+	spinSamples   *obs.Counter // spin intervals bucketed into SRAM
 	tcpuCycles    *obs.Histogram // modeled cycles per TPP execution
 	hopLatency    *obs.Histogram // ns from parser to scheduler dequeue
 }
@@ -260,6 +269,9 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		blackholes:    reg.Counter(fmt.Sprintf("switch/%d/blackholes", cfg.ID)),
 		reboots:       reg.Counter(fmt.Sprintf("switch/%d/reboots", cfg.ID)),
 		rebootDrops:   reg.Counter(fmt.Sprintf("switch/%d/reboot_drops", cfg.ID)),
+		cstores:       reg.Counter(fmt.Sprintf("switch/%d/cstore_commits", cfg.ID)),
+		spinEdges:     reg.Counter(fmt.Sprintf("switch/%d/spin_edges", cfg.ID)),
+		spinSamples:   reg.Counter(fmt.Sprintf("switch/%d/spin_samples", cfg.ID)),
 		tcpuCycles:    reg.Histogram(fmt.Sprintf("switch/%d/tcpu_cycles", cfg.ID)),
 		hopLatency:    reg.Histogram(fmt.Sprintf("switch/%d/hop_latency_ns", cfg.ID)),
 	}
@@ -346,6 +358,13 @@ func (s *Switch) TCPUEnabled() bool { return !s.tcpuOff }
 // PacketsSwitched returns the cumulative forwarded-packet count.
 func (s *Switch) PacketsSwitched() uint64 { return s.packets }
 
+// CStoreCommits returns how many conditional stores committed (compare
+// matched and the store was applied) on this switch.  Like the other
+// Go-side counters it survives Reboot — the SRAM words the commits
+// landed in do not, which is exactly the discrepancy the in-band
+// telemetry reconciliation measures.
+func (s *Switch) CStoreCommits() uint64 { return s.cstores }
+
 // TPPsExecuted returns how many TPPs the TCPU has run.
 func (s *Switch) TPPsExecuted() uint64 { return s.tppsExecuted }
 
@@ -405,6 +424,12 @@ func (s *Switch) Reboot(bootDelay netsim.Time) {
 			s.rebootDrops += uint64(flushed)
 			s.m.rebootDrops.Add(uint64(flushed))
 		}
+	}
+	// Spin-observer edge tracking is soft state too: the wipe loses
+	// which bit was last seen, so the first post-boot packet re-anchors
+	// instead of producing a bogus interval.
+	for _, w := range s.spin {
+		w.reset()
 	}
 	// The admission gate's buckets are soft state too: boot refills
 	// them.  Tenant grants survive — they are config, like the TCAM —
@@ -624,6 +649,9 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 
 	// Fixed-function dataplane features (§4 comparators).
 	if pkt.IP != nil {
+		for _, w := range s.spin {
+			w.observe(s, pkt)
+		}
 		if s.cfg.ECNThresholdBytes > 0 && pkt.IP.TOS&core.ECNCapable != 0 &&
 			s.ports[outPort].QueueBytes() >= s.cfg.ECNThresholdBytes {
 			pkt.IP.TOS |= core.ECNCE

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // view is the per-packet window onto the switch's unified memory map
@@ -105,6 +106,12 @@ func (v *view) CondStore(a mem.Addr, cond, val uint32) (uint32, error) {
 		if err := v.storeLocked(a, val); err != nil {
 			return 0, err
 		}
+		// One commit, accounted once across counter, metric and span,
+		// so the in-band telemetry plane can reconcile every applied
+		// dataplane update against what its sweeps later collect.
+		v.sw.cstores++
+		v.sw.m.cstores.Inc()
+		v.sw.span(v.pkt, obs.StageCStore, uint64(a), uint64(val))
 	}
 	return old, nil
 }

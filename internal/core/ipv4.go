@@ -45,6 +45,15 @@ const (
 	ECNCE      uint8 = 0x03 // congestion experienced
 )
 
+// SpinBit is the latency spin bit, carried in TOS bit 2 — above the two
+// ECN codepoints and below the three queue-classification bits, so it
+// composes with both.  Endpoints maintain it QUIC-style (one alternation
+// per round trip) and any on-path observer can infer the flow's RTT from
+// the bit's edge-to-edge interval with zero end-host cooperation.
+const (
+	SpinBit uint8 = 0x04
+)
+
 // IPv4Addr packs four octets into the uint32 address representation.
 func IPv4Addr(a, b, c, d byte) uint32 {
 	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)

@@ -1,0 +1,18 @@
+package inband
+
+import "repro/internal/mem"
+
+// HistSpec names one dataplane histogram: a window of Buckets
+// consecutive SRAM words on one switch, where word i counts samples in
+// obs power-of-two bucket i (obs.BucketLow(i)..obs.BucketHigh(i)).
+// Base is the address TPPs use — tenant-relative when the sending NIC
+// stamps a tenant id, since the guard relocates SRAM accesses into the
+// tenant's partition; physical otherwise.
+type HistSpec struct {
+	SwitchID uint32
+	Base     mem.Addr
+	Buckets  int
+}
+
+// BucketAddr returns the SRAM address of bucket i's counter word.
+func (s HistSpec) BucketAddr(i int) mem.Addr { return s.Base + mem.Addr(i) }

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The bucket must actually contain the value.
+		if b := BucketOf(c.v); c.v < BucketLow(b) || c.v > BucketHigh(b) {
+			t.Errorf("%d outside its bucket [%d, %d]", c.v, BucketLow(b), BucketHigh(b))
+		}
+	}
+}
+
+func TestObserveBucket(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveBucket(3, 5) // five samples in [4, 7]
+	h.ObserveBucket(3, 0) // no-op
+	h.ObserveBucket(-1, 2)
+	h.ObserveBucket(NumBuckets, 2) // out of range: dropped
+	if h.Count() != 5 || h.Bucket(3) != 5 {
+		t.Fatalf("count %d bucket %d", h.Count(), h.Bucket(3))
+	}
+	// Sum and max use the bucket's representative low bound.
+	if h.Sum() != 5*BucketLow(3) || h.Max() != BucketLow(3) {
+		t.Fatalf("sum %d max %d", h.Sum(), h.Max())
+	}
+	// Folding pre-bucketed counts agrees with observing the bounds.
+	h2 := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h2.Observe(4)
+	}
+	if h2.Bucket(3) != h.Bucket(3) || h2.Count() != h.Count() {
+		t.Fatal("ObserveBucket and Observe(low bound) disagree")
+	}
+	var nilH *Histogram
+	nilH.ObserveBucket(3, 1) // must not panic
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	// Empty histogram: every quantile is zero.
+	h := NewHistogram()
+	if h.Quantile(0) != 0 || h.Quantile(0.5) != 0 || h.Quantile(1) != 0 {
+		t.Fatal("empty histogram quantile not zero")
+	}
+
+	// Single bucket: q=0 and q=1 both land in it, clamped to Max.
+	h.Observe(100) // bucket [64, 127]
+	if got := h.Quantile(0); got != 100 {
+		t.Fatalf("q=0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("q=1 = %d", got)
+	}
+	// Out-of-range q clamps rather than misbehaving.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+
+	// Two buckets: q=0 resolves to the lowest occupied bucket's bound,
+	// q=1 to the overall max.
+	h.Observe(5) // bucket [4, 7]
+	if got := h.Quantile(0); got != 7 {
+		t.Fatalf("two-bucket q=0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("two-bucket q=1 = %d", got)
+	}
+}
+
+func TestDiffBucketLengthMismatch(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	h.Observe(5) // bucket [4, 7]
+	before := reg.Snapshot(0)
+
+	h.Observe(5)   // grows the existing bucket
+	h.Observe(100) // new bucket [64, 127]: after has more buckets than before
+	after := reg.Snapshot(1)
+
+	d := Diff(before, after)
+	m, ok := d.Get("h")
+	if !ok || m.Count != 2 {
+		t.Fatalf("diff count = %d", m.Count)
+	}
+	if len(m.Buckets) != 2 {
+		t.Fatalf("diff buckets = %v", m.Buckets)
+	}
+	for _, b := range m.Buckets {
+		if b.N != 1 {
+			t.Fatalf("diff bucket %v, want n=1", b)
+		}
+	}
+
+	// The reverse shape: a bucket present before but unchanged after
+	// drops out of the diff entirely (no zero or negative entries).
+	d2 := Diff(after, after)
+	m2, _ := d2.Get("h")
+	if m2.Count != 0 || len(m2.Buckets) != 0 {
+		t.Fatalf("self-diff not empty: count %d buckets %v", m2.Count, m2.Buckets)
+	}
+
+	// before longer than after (metric only in before): absent from
+	// the diff; metric only in after passes through whole.
+	reg2 := NewRegistry()
+	reg2.Histogram("h").Observe(5)
+	onlyAfter := Diff(Snapshot{}, reg2.Snapshot(2))
+	if m3, ok := onlyAfter.Get("h"); !ok || m3.Count != 1 {
+		t.Fatalf("new metric did not pass through: %+v", m3)
+	}
+}
+
+// TestSnapshotGolden pins the export byte-for-byte: deterministic,
+// name-sorted ordering is part of the format contract (results files
+// are committed and diffed), so any reordering or field change must
+// show up here.
+func TestSnapshotGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Registered deliberately out of alphabetical order.
+	reg.Histogram("rtt").Observe(5)
+	reg.Histogram("rtt").Observe(100)
+	reg.Counter("pkts").Add(3)
+	reg.Gauge("queue").Set(-7)
+	snap := reg.Snapshot(42)
+
+	var jsonl strings.Builder
+	if err := snap.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	wantJSONL := `{"at_ns":42,"name":"pkts","kind":"counter","value":3}
+{"at_ns":42,"name":"queue","kind":"gauge","value":-7}
+{"at_ns":42,"name":"rtt","kind":"histogram","count":2,"sum":105,"max":100,"buckets":[{"lo":4,"hi":7,"n":1},{"lo":64,"hi":127,"n":1}]}
+`
+	if jsonl.String() != wantJSONL {
+		t.Errorf("WriteJSONL drifted:\ngot:\n%s\nwant:\n%s", jsonl.String(), wantJSONL)
+	}
+
+	var csv strings.Builder
+	if err := snap.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := `name,kind,value,count,sum,max,p50,p99
+pkts,counter,3,,,,,
+queue,gauge,-7,,,,,
+rtt,histogram,,2,105,100,7,7
+`
+	if csv.String() != wantCSV {
+		t.Errorf("WriteCSV drifted:\ngot:\n%s\nwant:\n%s", csv.String(), wantCSV)
+	}
+}

@@ -87,9 +87,14 @@ func BucketHigh(i int) uint64 {
 	return 1<<i - 1
 }
 
-// bucketOf maps a value to its bucket index: bits.Len64 is the log2
-// bucketing function (0 -> 0, [2^(i-1), 2^i) -> i).
-func bucketOf(v uint64) int { return bits.Len64(v) }
+// BucketOf maps a value to its bucket index: bits.Len64 is the log2
+// bucketing function (0 -> 0, [2^(i-1), 2^i) -> i).  It is exported so
+// dataplane code (the in-band histogram workloads) buckets values with
+// exactly the same function the host-side histograms use, making the
+// two directly comparable bucket-for-bucket.
+func BucketOf(v uint64) int { return bits.Len64(v) }
+
+func bucketOf(v uint64) int { return BucketOf(v) }
 
 // Histogram accumulates a distribution in fixed log2 buckets.
 type Histogram struct {
@@ -115,6 +120,29 @@ func (h *Histogram) Observe(v uint64) {
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveBucket folds n pre-bucketed observations directly into bucket
+// i — the aggregation path for dataplane-computed histograms, whose
+// sweeps deliver per-bucket counts rather than raw values.  Sum and Max
+// are maintained with the bucket's lower edge as the representative
+// value (the true values were quantized away in the dataplane), so Mean
+// and Quantile stay conservative underestimates.  No-op on a nil
+// receiver or an out-of-range bucket.
+func (h *Histogram) ObserveBucket(i int, n uint64) {
+	if h == nil || n == 0 || i < 0 || i >= NumBuckets {
+		return
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	rep := BucketLow(i)
+	h.sum.Add(rep * n)
+	for {
+		cur := h.max.Load()
+		if rep <= cur || h.max.CompareAndSwap(cur, rep) {
 			return
 		}
 	}

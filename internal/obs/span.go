@@ -98,6 +98,22 @@ const (
 	// against the tpps_denied counters.  A=denied word address shifted
 	// left one with the write bit in bit 0, B=tenant id.
 	StageAccessDeny
+	// StageCStore: a CSTORE committed (the compare matched and the
+	// store was applied) in the TCPU memory stage.  One event per
+	// commit, so the span stream reconciles exactly against the
+	// cstore_commits counter.  A=word address stored, B=value stored.
+	StageCStore
+	// StageSweep: an in-band telemetry collector folded one sweep of a
+	// dataplane histogram window into its host-side accumulation.  UID
+	// is 0 (no single packet); Node is the swept switch id; A=sweep
+	// sequence number, B=observations folded by this sweep.
+	StageSweep
+	// StageSpinEdge: the fixed-function spin-bit observer saw the
+	// watched flow's spin bit transition and bucketed the edge-to-edge
+	// interval into its SRAM histogram.  A=interval in nanoseconds,
+	// B=1 when the interval was bucketed (0 for the flow's first edge,
+	// which has no predecessor).
+	StageSpinEdge
 )
 
 var stageNames = [...]string{
@@ -125,6 +141,9 @@ var stageNames = [...]string{
 	StageSwitchUp:     "switch-up",
 	StageRebootDrop:   "reboot-drop",
 	StageAccessDeny:   "access-deny",
+	StageCStore:       "cstore-commit",
+	StageSweep:        "sweep",
+	StageSpinEdge:     "spin-edge",
 }
 
 // String names the stage.

@@ -1,0 +1,253 @@
+// Command benchjson converts a `go test -json -bench` stream into a
+// compact, sorted benchmark results file (BENCH_obs.json by default),
+// so the repository can commit a measured perf trajectory and diff it
+// across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -json . | benchjson [-o FILE]
+//	benchjson [-o FILE] bench.jsonl
+//	benchjson -validate FILE
+//
+// The tool is strict by design: it exits non-zero if the stream
+// contains a test failure, if any benchmark announced itself but never
+// produced a result line (a crash or a hang would look exactly like
+// that), or if no benchmark produced a result at all — an empty file
+// must never pass for a measurement.  -validate re-checks a previously
+// written file (CI uses it to prove the committed artifact parses and
+// is non-empty).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of `go test -json` events we care about.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the committed artifact: environment stamp plus sorted results.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// A benchmark announces itself as a bare "BenchmarkX" line, then emits
+// "BenchmarkX-8  <iters>  <ns> ns/op [<b> B/op] [<allocs> allocs/op]"
+// per completed run.
+var (
+	startRe  = regexp.MustCompile(`^(Benchmark\S+)$`)
+	resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+)
+
+func main() {
+	outPath := "BENCH_obs.json"
+	validate := ""
+	args := os.Args[1:]
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-o" && len(args) >= 2:
+			outPath = args[1]
+			args = args[2:]
+		case args[0] == "-validate" && len(args) >= 2:
+			validate = args[1]
+			args = args[2:]
+		default:
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-o FILE] [input.jsonl] | benchjson -validate FILE")
+			os.Exit(2)
+		}
+	}
+
+	if validate != "" {
+		if err := validateFile(validate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", validate, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o FILE] [input.jsonl] | benchjson -validate FILE")
+		os.Exit(2)
+	}
+
+	out, err := Convert(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(out.Results), outPath)
+}
+
+// Convert parses a `go test -json` stream and returns the artifact, or
+// an error when the stream does not represent a complete, passing run.
+func Convert(in io.Reader) (*File, error) {
+	started := map[string]bool{}
+	results := map[string]Result{}
+	failed := false
+
+	handleLine := func(text string) {
+		text = strings.TrimSpace(text)
+		if m := resultRe.FindStringSubmatch(text); m != nil {
+			r := Result{Name: m[1]}
+			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			results[r.Name] = r
+			return
+		}
+		if m := startRe.FindStringSubmatch(text); m != nil {
+			started[m[1]] = true
+		}
+	}
+
+	// A result line is often split across output events at a flush
+	// boundary ("BenchmarkX \t" then "1\t 123 ns/op\n"), so reassemble
+	// the per-test output stream and only act on complete lines.
+	pending := map[string]string{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("not a `go test -json` stream: %v", err)
+		}
+		if ev.Action == "fail" {
+			failed = true
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := pending[ev.Test] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			handleLine(buf[:nl])
+			buf = buf[nl+1:]
+		}
+		pending[ev.Test] = buf
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, buf := range pending {
+		if buf != "" {
+			handleLine(buf)
+		}
+	}
+
+	if failed {
+		return nil, fmt.Errorf("the benchmark run reported a failure")
+	}
+	// A name that only groups sub-benchmarks (BenchmarkFig2 with
+	// BenchmarkFig2/rcpstar under it) announces itself but never emits
+	// a result of its own; only leaves must produce one.
+	var missing []string
+	for name := range started {
+		if _, ok := results[name]; ok {
+			continue
+		}
+		parent := false
+		for other := range started {
+			if strings.HasPrefix(other, name+"/") {
+				parent = true
+				break
+			}
+		}
+		if !parent {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("benchmarks started but produced no result: %s",
+			strings.Join(missing, ", "))
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark results in the stream")
+	}
+
+	out := &File{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, r := range results {
+		out.Results = append(out.Results, r)
+	}
+	sort.Slice(out.Results, func(i, j int) bool {
+		return out.Results[i].Name < out.Results[j].Name
+	})
+	return out, nil
+}
+
+// validateFile checks a committed artifact parses and is non-empty.
+func validateFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	if len(f.Results) == 0 {
+		return fmt.Errorf("no results")
+	}
+	for _, r := range f.Results {
+		if r.Name == "" || r.Iterations <= 0 || r.NsPerOp <= 0 {
+			return fmt.Errorf("implausible result %+v", r)
+		}
+	}
+	fmt.Printf("benchjson: %s ok (%d results, %s %s/%s)\n",
+		path, len(f.Results), f.GoVersion, f.GOOS, f.GOARCH)
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ev builds one `go test -json` line.
+func ev(action, output string) string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `{"Action":%q`, action)
+	if output != "" {
+		fmt.Fprintf(b, `,"Output":%q`, output)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func TestConvert(t *testing.T) {
+	stream := ev("start", "") +
+		ev("output", "goos: linux\n") +
+		ev("output", "BenchmarkFast\n") +
+		ev("output", "BenchmarkFast-8   \t 1000\t  123.5 ns/op\t  64 B/op\t   2 allocs/op\n") +
+		ev("output", "BenchmarkNoMem\n") +
+		ev("output", "BenchmarkNoMem-8  \t  500\t 2000 ns/op\n") +
+		ev("pass", "")
+	f, err := Convert(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 {
+		t.Fatalf("results: %+v", f.Results)
+	}
+	// Sorted by name.
+	if f.Results[0].Name != "BenchmarkFast" || f.Results[1].Name != "BenchmarkNoMem" {
+		t.Fatalf("order: %+v", f.Results)
+	}
+	r := f.Results[0]
+	if r.Iterations != 1000 || r.NsPerOp != 123.5 || r.BytesPerOp != 64 || r.AllocsPerOp != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if f.Results[1].BytesPerOp != 0 || f.Results[1].AllocsPerOp != 0 {
+		t.Fatalf("no-benchmem result grew memory fields: %+v", f.Results[1])
+	}
+	if f.GoVersion == "" || f.GOOS == "" || f.GOARCH == "" {
+		t.Fatalf("environment stamp missing: %+v", f)
+	}
+}
+
+// TestConvertSplitLinesAndGroups mirrors real `go test -json` quirks:
+// result lines split across output events at a flush boundary, and
+// parent benchmarks that only group sub-benchmarks (they announce
+// themselves but never emit a result of their own).
+func TestConvertSplitLinesAndGroups(t *testing.T) {
+	stream := ev("output", "BenchmarkFig2\n") +
+		ev("output", "BenchmarkFig2/rcpstar\n") +
+		ev("output", "BenchmarkFig2/rcpstar           \t") +
+		ev("output", "       1\t   8872312 ns/op\t 1584832 B/op\t   49037 allocs/op\n") +
+		ev("pass", "")
+	f, err := Convert(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 1 || f.Results[0].Name != "BenchmarkFig2/rcpstar" {
+		t.Fatalf("results: %+v", f.Results)
+	}
+	if f.Results[0].NsPerOp != 8872312 || f.Results[0].AllocsPerOp != 49037 {
+		t.Fatalf("split-line parse: %+v", f.Results[0])
+	}
+}
+
+func TestConvertRejectsEmpty(t *testing.T) {
+	stream := ev("start", "") + ev("output", "ok  \trepro\t0.01s\n") + ev("pass", "")
+	if _, err := Convert(strings.NewReader(stream)); err == nil {
+		t.Fatal("a stream with no results passed")
+	}
+}
+
+func TestConvertRejectsStartWithoutResult(t *testing.T) {
+	stream := ev("start", "") +
+		ev("output", "BenchmarkHung\n") +
+		ev("output", "BenchmarkDone\n") +
+		ev("output", "BenchmarkDone-8 \t 10\t 5 ns/op\n") +
+		ev("pass", "")
+	_, err := Convert(strings.NewReader(stream))
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkHung") {
+		t.Fatalf("missing-result benchmark not caught: %v", err)
+	}
+}
+
+func TestConvertRejectsFailure(t *testing.T) {
+	stream := ev("output", "BenchmarkX\n") +
+		ev("output", "BenchmarkX-8 \t 10\t 5 ns/op\n") +
+		ev("fail", "")
+	if _, err := Convert(strings.NewReader(stream)); err == nil {
+		t.Fatal("failed run accepted")
+	}
+}
+
+func TestConvertRejectsNonJSON(t *testing.T) {
+	if _, err := Convert(strings.NewReader("BenchmarkX-8 10 5 ns/op\n")); err == nil {
+		t.Fatal("plain bench output accepted as a -json stream")
+	}
+}
