@@ -46,12 +46,14 @@ check: vet build race
 soak:
 	$(GO) test -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
 
-# fuzz smoke-tests the two soundness properties: verified programs
-# never trip a dynamic fault, and guest programs never escape their
-# tenant grant (and, verified against it, are never denied).
+# fuzz smoke-tests the three soundness properties: verified programs
+# never trip a dynamic fault, guest programs never escape their tenant
+# grant (and, verified against it, are never denied), and the compiled
+# TPP form is behaviorally identical to the interpreter.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=10s ./internal/verify
 	$(GO) test -fuzz=FuzzGuard -fuzztime=10s ./internal/asic
+	$(GO) test -fuzz=FuzzCompile -fuzztime=10s ./internal/tcpu
 
 # bench runs every benchmark once (BENCHTIME=1x) as a smoke test; set
 # BENCHTIME=2s BENCH=PipelineTelemetry for real measurements.
@@ -64,11 +66,14 @@ bench-json:
 
 # bench-save runs the benchmarks and commits the measured numbers to
 # BENCH_obs.json via tools/benchjson, which fails if any benchmark
-# produced no result.  Set BENCHTIME=2s for publication-grade numbers;
-# the default 1x is the smoke/CI setting.
+# produced no result.  The TCPU execution-path trajectory (interpreter
+# vs compiled vs cached, plus the end-to-end pipeline) is carved out of
+# the same run into BENCH_tcpu.json.  Set BENCHTIME=2s for
+# publication-grade numbers; the default 1x is the smoke/CI setting.
 bench-save:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -json . \
-		| $(GO) run ./tools/benchjson -o BENCH_obs.json
+		| $(GO) run ./tools/benchjson -o BENCH_obs.json \
+			-extra 'BENCH_tcpu.json=^Benchmark(TCPU|PipelineTelemetry)'
 
 # experiments regenerates every paper artifact with telemetry enabled.
 experiments:

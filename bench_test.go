@@ -311,6 +311,62 @@ func BenchmarkPipelineTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkTCPU isolates program execution cost on one switch's memory
+// view (DESIGN.md §13): the interpreter, the compiled form, and the
+// compiled form reached through the ingress cache the way a switch
+// actually reaches it (lookup included).  These three are the perf
+// trajectory committed to BENCH_tcpu.json.
+func BenchmarkTCPU(b *testing.B) {
+	_, sw := benchSwitch(b)
+	view := sw.ViewForTesting(nil, 0)
+	cfg := tcpu.Config{MaxInstructions: 16}
+	swID := uint16(mem.SwitchBase + mem.SwitchID)
+	qsize := uint16(mem.QueueBase + mem.QueueBytes)
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: swID},
+		{Op: core.OpPUSH, A: qsize},
+		{Op: core.OpPUSH, A: swID},
+		{Op: core.OpPUSH, A: qsize},
+		{Op: core.OpPUSH, A: swID},
+	}, 40)
+
+	b.Run("interpret", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tpp.Ptr, tpp.Flags = 0, 0
+			if r := cfg.Exec(tpp, view); r.Fault != nil {
+				b.Fatal(r.Fault)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		p := tcpu.Compile(cfg, tpp)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tpp.Ptr, tpp.Flags = 0, 0
+			if r := p.Exec(tpp, view); r.Fault != nil {
+				b.Fatal(r.Fault)
+			}
+		}
+	})
+	b.Run("compiled-cached", func(b *testing.B) {
+		cache := tcpu.NewCache(cfg, tcpu.DefaultCacheCapacity)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tpp.Ptr, tpp.Flags = 0, 0
+			p := cache.Get(tpp)
+			if p == nil {
+				b.Fatal("cache refused program")
+			}
+			if r := p.Exec(tpp, view); r.Fault != nil {
+				b.Fatal(r.Fault)
+			}
+		}
+	})
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationAddressingMode compares stack against hop addressing

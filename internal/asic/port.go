@@ -133,6 +133,7 @@ func (p *Port) enqueue(pkt *core.Packet, qid int) bool {
 	if !p.queues[qid].Enqueue(pkt) {
 		p.mDrops.Inc()
 		p.sw.span(pkt, obs.StageDrop, uint64(qid), uint64(wire))
+		pkt.Recycle() // tail drop: the fabric destroys the packet here
 		return false
 	}
 	p.mQueueDepth.Observe(uint64(p.queues[qid].Bytes()))

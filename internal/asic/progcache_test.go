@@ -1,0 +1,189 @@
+package asic_test
+
+import (
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/core"
+	"repro/internal/endhost"
+	"repro/internal/guard"
+	"repro/internal/microburst"
+	"repro/internal/netsim"
+	"repro/internal/tcpu"
+	"repro/internal/topo"
+)
+
+// cacheRig builds a one-switch network whose switch runs a *different*
+// TCPU instruction limit than the hosts' NICs compile under, so the
+// edge-attached compilation never matches and every TPP exercises the
+// switch's own ingress program cache.
+func cacheRig(t *testing.T, cfg asic.Config) (*netsim.Sim, *asic.Switch, *endhost.Host, *endhost.Host) {
+	t.Helper()
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	cfg.Ports = 4
+	cfg.TCPU = tcpu.Config{MaxInstructions: 16}
+	sw := n.AddSwitch(cfg)
+	h1, h2 := n.AddHost(), n.AddHost()
+	n.LinkHost(h1, sw, edge)
+	n.LinkHost(h2, sw, edge)
+	n.PrimeL2(5 * netsim.Millisecond)
+	return sim, sw, h1, h2
+}
+
+func sendTelemetry(sim *netsim.Sim, from, to *endhost.Host, count int) {
+	for i := 0; i < count; i++ {
+		pkt := from.NewPacket(to.MAC, to.IP, 1000, 2000, 64)
+		microburst.Instrument(pkt, 4)
+		from.Send(pkt)
+	}
+	sim.RunUntil(sim.Now() + 20*netsim.Millisecond)
+}
+
+// TestSwitchIngressCacheReuse: repeated flows carrying the same program
+// shape compile exactly once at switch ingress; every later packet is a
+// cache hit.
+func TestSwitchIngressCacheReuse(t *testing.T) {
+	sim, sw, h1, h2 := cacheRig(t, asic.Config{})
+	base := h2.Received // PrimeL2 broadcasts count too
+	sendTelemetry(sim, h1, h2, 10)
+
+	if h2.Received-base != 10 {
+		t.Fatalf("delivered %d/10", h2.Received-base)
+	}
+	hits, misses := sw.ProgCacheStats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 compilation for a repeated flow", misses)
+	}
+	if hits != 9 {
+		t.Fatalf("hits = %d, want 9", hits)
+	}
+}
+
+// TestProgCacheInvalidatedOnReboot: a crash-restart flushes the
+// compiled-program cache (it is soft state), so the first packet after
+// recovery recompiles.  The reboot-driven variant through the fault
+// plan lives in internal/faults.
+func TestProgCacheInvalidatedOnReboot(t *testing.T) {
+	sim, sw, h1, h2 := cacheRig(t, asic.Config{})
+	sendTelemetry(sim, h1, h2, 3)
+	if _, misses := sw.ProgCacheStats(); misses != 1 {
+		t.Fatalf("pre-reboot misses = %d, want 1", misses)
+	}
+
+	sw.Reboot(netsim.Millisecond)
+	sim.RunUntil(sim.Now() + 5*netsim.Millisecond)
+	// The L2 table was wiped too; re-prime so the post-boot packets
+	// unicast again.
+	h1.Broadcast()
+	h2.Broadcast()
+	sim.RunUntil(sim.Now() + 5*netsim.Millisecond)
+
+	sendTelemetry(sim, h1, h2, 3)
+	if h2.Received < 4 {
+		t.Fatalf("post-reboot traffic not flowing: received %d", h2.Received)
+	}
+	if _, misses := sw.ProgCacheStats(); misses != 2 {
+		t.Fatalf("post-reboot misses = %d, want 2 (cache must be flushed by reboot)", misses)
+	}
+}
+
+// TestProgCacheInvalidatedOnGuardChange: granting or revoking a tenant
+// flushes the cache, so no compilation produced under one guard
+// configuration survives into the next.
+func TestProgCacheInvalidatedOnGuardChange(t *testing.T) {
+	sim, sw, h1, h2 := cacheRig(t, asic.Config{Guard: true})
+	if _, err := sw.GrantTenant(1, guard.DefaultACL(), 64, 1, 64); err != nil {
+		t.Fatal(err)
+	}
+	h1.NIC.SetTenant(1)
+
+	sendTelemetry(sim, h1, h2, 3)
+	_, missesAfterTraffic := sw.ProgCacheStats()
+	if missesAfterTraffic == 0 {
+		t.Fatal("no compilations recorded; the rig is not exercising the ingress cache")
+	}
+
+	if err := sw.RevokeTenant(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.GrantTenant(1, guard.DefaultACL(), 64, 1, 64); err != nil {
+		t.Fatal(err)
+	}
+	sendTelemetry(sim, h1, h2, 3)
+	_, missesAfterRevoke := sw.ProgCacheStats()
+	if missesAfterRevoke <= missesAfterTraffic {
+		t.Fatalf("misses %d -> %d across revoke+regrant, want an increase (cache must be flushed)",
+			missesAfterTraffic, missesAfterRevoke)
+	}
+}
+
+// TestFloodCloneIndependence is the queue-conservation / aliasing audit
+// for the pooled flood path: every flooded copy must be delivered
+// exactly once, execute its own TPP, and share no mutable state with
+// its siblings — a pooled clone that aliased another copy's packet
+// memory would corrupt telemetry silently.
+func TestFloodCloneIndependence(t *testing.T) {
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4, TCPU: tcpu.Config{MaxInstructions: 16}})
+	h1, h2, h3 := n.AddHost(), n.AddHost(), n.AddHost()
+	for _, h := range []*endhost.Host{h1, h2, h3} {
+		n.LinkHost(h, sw, edge)
+	}
+	// No PrimeL2: keep destinations unknown so every frame floods.
+
+	var got2, got3 []*core.Packet
+	h2.HandleDefault(func(p *core.Packet) { got2 = append(got2, p) })
+	h3.HandleDefault(func(p *core.Packet) { got3 = append(got3, p) })
+
+	const sends = 50
+	for i := 0; i < sends; i++ {
+		pkt := h1.NewPacket(core.MAC{0xde, 0xad, 0, 0, 0, 1}, 0x0a000099, 1000, 2000, 64)
+		microburst.Instrument(pkt, 4)
+		if !h1.Send(pkt) {
+			t.Fatalf("send %d refused", i)
+		}
+		sim.RunUntil(sim.Now() + netsim.Millisecond)
+	}
+	sim.RunUntil(sim.Now() + 50*netsim.Millisecond)
+
+	// Conservation: every flood delivers exactly one copy per egress,
+	// nothing lost, nothing duplicated.
+	if len(got2) != sends || len(got3) != sends {
+		t.Fatalf("delivered %d/%d copies, want %d each", len(got2), len(got3), sends)
+	}
+	if sw.TPPsExecuted() != 2*sends {
+		t.Fatalf("TCPU ran %d times, want %d (one per flooded copy)", sw.TPPsExecuted(), 2*sends)
+	}
+
+	for i := range got2 {
+		a, b := got2[i], got3[i]
+		if a == b {
+			t.Fatalf("flood %d delivered the same *Packet to both hosts", i)
+		}
+		if a.TPP == nil || b.TPP == nil || a.TPP == b.TPP {
+			t.Fatalf("flood %d: TPPs alias (a=%p b=%p)", i, a.TPP, b.TPP)
+		}
+		if a.TPP.Ptr != 4 || b.TPP.Ptr != 4 {
+			t.Fatalf("flood %d: copies did not each execute once (ptr %d, %d)", i, a.TPP.Ptr, b.TPP.Ptr)
+		}
+		// Mutate one copy's packet memory and instruction slice; the
+		// sibling must be unaffected (no shared backing arrays).
+		before := b.TPP.Word(0)
+		a.TPP.SetWord(0, ^before)
+		if b.TPP.Word(0) != before {
+			t.Fatalf("flood %d: packet memory aliased between flooded copies", i)
+		}
+		insBefore := b.TPP.Ins[0]
+		a.TPP.Ins[0] = core.Instruction{Op: core.OpNOP}
+		if b.TPP.Ins[0] != insBefore {
+			t.Fatalf("flood %d: instruction slice aliased between flooded copies", i)
+		}
+		// Delivered packets are adopted: they must never claim pool
+		// ownership once in host hands.
+		if a.Pooled() || b.Pooled() {
+			t.Fatalf("flood %d: delivered packet still marked pooled", i)
+		}
+	}
+}

@@ -8,7 +8,12 @@ import "repro/internal/core"
 type Queue struct {
 	capBytes int
 
+	// pkts[head:] are the queued packets.  Dequeue advances head
+	// instead of re-slicing the base pointer away, so the backing
+	// array's capacity is reused forever and a steady-state queue
+	// never re-allocates.
 	pkts  []*core.Packet
+	head  int
 	bytes int
 
 	// Cumulative counters, exposed through the Queue namespace.
@@ -41,7 +46,7 @@ func (q *Queue) CapBytes() int { return q.capBytes }
 func (q *Queue) Bytes() int { return q.bytes }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
 
 // Enqueue appends the packet if it fits; otherwise the packet is
 // dropped (drop-tail) and false is returned.
@@ -65,28 +70,38 @@ func (q *Queue) Enqueue(p *core.Packet) bool {
 // the switch record a span per loss so telemetry reconciles exactly
 // with the counters.  It returns the number of packets discarded.
 func (q *Queue) Flush(each func(*core.Packet)) int {
-	n := len(q.pkts)
-	for i, p := range q.pkts {
+	n := q.Len()
+	for i := q.head; i < len(q.pkts); i++ {
+		p := q.pkts[i]
 		q.FlushedBytes += uint64(p.WireLen())
 		if each != nil {
 			each(p)
 		}
+		// Buffer memory is wiped: a crash is a fabric death point, so
+		// pooled flood copies return to the pool here.
+		p.Recycle()
 		q.pkts[i] = nil
 	}
 	q.FlushedPkts += uint64(n)
 	q.pkts = q.pkts[:0]
+	q.head = 0
 	q.bytes = 0
 	return n
 }
 
 // Dequeue removes and returns the head packet, or nil when empty.
 func (q *Queue) Dequeue() *core.Packet {
-	if len(q.pkts) == 0 {
+	if q.head == len(q.pkts) {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		// Empty: rewind into the retained backing array.
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
 	n := p.WireLen()
 	q.bytes -= n
 	q.DeqBytes += uint64(n)

@@ -187,6 +187,21 @@ type Switch struct {
 	// skip this switch.
 	tcpuOff bool
 
+	// progCache holds this switch's compiled TPPs, keyed on wire bytes
+	// plus the TCPU config the compilation was produced under, so
+	// repeated flows never re-decode a program.  It is flushed on
+	// Reboot and on every tenant grant change (see guard.go): the
+	// compilation itself bakes no guard state in, but a flush is cheap
+	// and makes staleness structurally impossible.
+	progCache *tcpu.Cache
+
+	// execView and execGuard are the per-execution memory-view scratch:
+	// the dataplane is single-threaded (one event at a time), so the
+	// TCPU can reuse one view per switch instead of allocating one per
+	// packet.  They are rebound in execTPP and never escape it.
+	execView  view
+	execGuard guardedView
+
 	// Telemetry: span tracer plus pre-resolved metric handles (all
 	// nil when disabled — recording through them is then a no-op).
 	tracer *obs.Tracer
@@ -250,6 +265,7 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 		sram:   make([]uint32, mem.SRAMWords),
 		tracer: cfg.Trace,
 	}
+	s.progCache = tcpu.NewCache(cfg.TCPU, 0)
 	s.tppTokens = float64(cfg.TPPBurst) // the gate starts full
 	if cfg.Guard {
 		s.guard = guard.NewTable()
@@ -440,6 +456,10 @@ func (s *Switch) Reboot(bootDelay netsim.Time) {
 	if s.guard != nil {
 		s.guard.ResetBuckets(s.sim.Now())
 	}
+	// Compiled programs are soft state: a restarted ASIC renegotiates
+	// its configuration, so nothing compiled before the crash may run
+	// after it.
+	s.progCache.Invalidate()
 
 	s.tracer.Record(obs.SpanEvent{
 		At: int64(s.sim.Now()), UID: 0, Node: s.cfg.ID,
@@ -464,6 +484,7 @@ func (s *Switch) dropRebooted(pkt *core.Packet, port int) {
 	s.rebootDrops++
 	s.m.rebootDrops.Inc()
 	s.span(pkt, obs.StageRebootDrop, uint64(port), uint64(pkt.WireLen()))
+	pkt.Recycle()
 }
 
 func (s *Switch) housekeeping() {
@@ -520,19 +541,30 @@ func (s *Switch) Receive(pkt *core.Packet, port int) {
 	}
 	// Capture the boot epoch: a crash while the packet sits in the
 	// parse/lookup pipeline wipes it along with the rest of the
-	// switch's volatile state.
-	epoch := s.epoch
-	s.sim.After(s.cfg.PipelineLatency, func() {
-		if s.booting || s.epoch != epoch {
-			s.dropRebooted(pkt, port)
-			return
-		}
-		s.forward(pkt, port)
-	})
+	// switch's volatile state.  The epoch and ingress port ride in the
+	// event's arg word (see DeliverAt) so the pipeline stage schedules
+	// without allocating.
+	s.sim.AtPacket(s.sim.Now()+s.cfg.PipelineLatency, s, pkt,
+		uint64(port)|uint64(s.epoch)<<32)
+}
+
+// DeliverAt implements netsim.PacketDelivery: the parse/lookup pipeline
+// latency elapsed.  arg carries the ingress port in the low word and
+// the boot epoch captured at arrival in the high word.
+func (s *Switch) DeliverAt(pkt *core.Packet, arg uint64) {
+	port := int(uint32(arg))
+	if s.booting || s.epoch != uint32(arg>>32) {
+		s.dropRebooted(pkt, port)
+		return
+	}
+	s.forward(pkt, port)
 }
 
 // stripTPP removes the TPP section, leaving the encapsulated payload as
-// an ordinary frame; a bare TPP with no payload vanishes entirely.
+// an ordinary frame; a bare TPP with no payload vanishes entirely.  The
+// copy aliases the original's IP/UDP/payload buffers, so the original
+// must be abandoned, never recycled — Adopt severs the copy from the
+// pool regardless of the original's provenance.
 func stripTPP(pkt *core.Packet) *core.Packet {
 	if pkt.IP == nil {
 		return nil
@@ -540,7 +572,7 @@ func stripTPP(pkt *core.Packet) *core.Packet {
 	out := *pkt
 	out.TPP = nil
 	out.Eth.Type = core.EtherTypeIPv4
-	out.TPP = nil
+	out.Adopt()
 	return &out
 }
 
@@ -555,6 +587,7 @@ func (s *Switch) forward(pkt *core.Packet, inPort int) {
 	if out, meta, decided := s.lookupTCAM(pkt, inPort); decided {
 		s.span(pkt, obs.StageLookupTCAM, uint64(meta.ID), uint64(meta.Version))
 		if out < 0 {
+			pkt.Recycle()
 			return // dropped by rule (its journey ends at the lookup span)
 		}
 		pkt.Meta.MatchedEntry = meta.ID
@@ -569,6 +602,7 @@ func (s *Switch) forward(pkt *core.Packet, inPort int) {
 				s.ttlDrops++
 				s.m.ttlDrops.Inc()
 				s.span(pkt, obs.StageTTLDrop, uint64(inPort), 0)
+				pkt.Recycle()
 				return
 			}
 			pkt.IP.TTL--
@@ -614,20 +648,32 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 		}
 	}
 	// Flood: every wired port except the ingress, each copy carrying
-	// (and executing) its own TPP.
-	flooded := false
+	// (and executing) its own TPP.  The last egress forwards the
+	// original packet itself; only the other egresses need copies,
+	// drawn from the packet pool instead of the heap.
+	last := -1
+	for _, p := range s.ports {
+		if p.id != inPort && p.Wired() {
+			last = p.id
+		}
+	}
+	if last < 0 {
+		s.blackholes++
+		s.m.blackholes.Inc()
+		s.span(pkt, obs.StageBlackhole, uint64(inPort), 0)
+		pkt.Recycle()
+		return
+	}
 	for _, p := range s.ports {
 		if p.id == inPort || !p.Wired() {
 			continue
 		}
 		s.span(pkt, obs.StageLookupL2, uint64(p.id), 1)
-		s.deliver(pkt.Clone(), inPort, p.id)
-		flooded = true
-	}
-	if !flooded {
-		s.blackholes++
-		s.m.blackholes.Inc()
-		s.span(pkt, obs.StageBlackhole, uint64(inPort), 0)
+		if p.id == last {
+			s.deliver(pkt, inPort, p.id)
+		} else {
+			s.deliver(pkt.ClonePooled(), inPort, p.id)
+		}
 	}
 }
 
@@ -638,6 +684,7 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 		s.blackholes++
 		s.m.blackholes.Inc()
 		s.span(pkt, obs.StageBlackhole, uint64(inPort), uint64(outPort))
+		pkt.Recycle()
 		return
 	}
 	pkt.Meta.OutPort = uint32(outPort)
@@ -717,19 +764,30 @@ func (s *Switch) admitTPP(id guard.TenantID) bool {
 // execution telemetry.  With the tenant guard on, the memory view is
 // wrapped with the tenant's grant: denied accesses fail forward (poison
 // loads, dropped stores) and surface as FlagAccessFault on the program.
+//
+// The memory views live in per-switch scratch (the dataplane processes
+// one event at a time, so one view per switch suffices), and the
+// program runs in compiled form: a program the trusted edge already
+// compiled is executed directly when its baked config matches this
+// device, and everything else goes through the ingress program cache.
 func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
-	raw := &view{sw: s, pkt: pkt, port: s.ports[outPort]}
+	s.execView = view{sw: s, pkt: pkt, port: s.ports[outPort]}
 	var v interface {
 		mem.View
 		CondStore(mem.Addr, uint32, uint32) (uint32, error)
-	} = raw
+	} = &s.execView
 	var gv *guardedView
 	if s.guard != nil {
 		g, _ := s.guard.Lookup(guard.TenantID(pkt.TPP.Tenant)) // unknown: zero grant, deny-all
-		gv = &guardedView{v: raw, grant: g, tenant: guard.TenantID(pkt.TPP.Tenant)}
+		s.execGuard = guardedView{v: &s.execView, grant: g, tenant: guard.TenantID(pkt.TPP.Tenant)}
+		gv = &s.execGuard
 		v = gv
 	}
-	s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
+	if prog := s.compiledFor(pkt.TPP); prog != nil {
+		s.LastTCPU = prog.Exec(pkt.TPP, v)
+	} else {
+		s.LastTCPU = s.cfg.TCPU.Exec(pkt.TPP, v)
+	}
 	if gv != nil && gv.denies > 0 {
 		pkt.TPP.Flags |= core.FlagAccessFault
 	}
@@ -744,6 +802,22 @@ func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
 	}
 	s.span(pkt, obs.StageTCPU, uint64(s.LastTCPU.Cycles), uint64(s.LastTCPU.Executed))
 }
+
+// compiledFor resolves the compiled form of t's program: the program
+// the trusted edge attached when its baked device config matches this
+// switch, otherwise this switch's own ingress cache.  A nil return
+// means the interpreter must run (program too long to cache).
+func (s *Switch) compiledFor(t *core.TPP) *tcpu.Program {
+	if p, ok := t.Compiled.(*tcpu.Program); ok && p != nil &&
+		p.Matches(s.cfg.TCPU) && p.MatchesTPP(t) {
+		return p
+	}
+	return s.progCache.Get(t)
+}
+
+// ProgCacheStats exposes the ingress program cache's hit/miss counters
+// for tests and capacity planning.
+func (s *Switch) ProgCacheStats() (hits, misses uint64) { return s.progCache.Stats() }
 
 // classify selects the egress queue: the top three TOS bits, clamped to
 // the configured queue count (everything defaults to queue 0).

@@ -38,6 +38,30 @@ type Packet struct {
 	PadLen  int
 
 	Meta Metadata
+
+	// pooled marks a packet drawn from the packet pool (see pool.go);
+	// set only by ClonePooled, cleared by Recycle and Adopt.  A shallow
+	// struct copy inherits the flag, so copies must Adopt themselves.
+	pooled bool
+}
+
+// udpPacketBlock co-allocates a packet with its IP and UDP headers.
+// Data-packet construction is on the generator hot path of every
+// congestion and telemetry experiment; one allocation instead of three
+// is measurable at line rate.  The three die together, so block
+// lifetime equals packet lifetime.
+type udpPacketBlock struct {
+	pkt Packet
+	ip  IPv4
+	udp UDP
+}
+
+// NewUDPPacket builds an Eth+IP+UDP data packet in a single allocation.
+func NewUDPPacket(eth Ethernet, ip IPv4, udp UDP) *Packet {
+	b := &udpPacketBlock{pkt: Packet{Eth: eth}, ip: ip, udp: udp}
+	b.pkt.IP = &b.ip
+	b.pkt.UDP = &b.udp
+	return &b.pkt
 }
 
 // PayloadLen returns the application payload length in bytes, including
@@ -64,6 +88,7 @@ func (p *Packet) WireLen() int {
 // flooded or mirrored copy executes and mutates independently.
 func (p *Packet) Clone() *Packet {
 	c := *p
+	c.pooled = false // the copy is heap-owned regardless of p's provenance
 	if p.TPP != nil {
 		c.TPP = p.TPP.Clone()
 	}

@@ -1,0 +1,89 @@
+package core
+
+import "sync"
+
+// Packet pooling for the replication hot path.  Flooding and mirroring
+// must deep-copy a packet per egress; allocating those copies (and
+// their TPP instruction/memory buffers) fresh made replication the
+// dominant allocation site in the dataplane.  ClonePooled draws the
+// copy from a sync.Pool and Recycle returns it at the points where the
+// fabric destroys a packet (queue tail drop, TTL expiry, blackhole,
+// reboot flush, link loss); end-hosts take ownership of delivered
+// packets with Adopt, after which the packet behaves exactly like a
+// freshly allocated one and is never returned to the pool.
+//
+// Safety rules, enforced by convention and the queue-conservation
+// tests:
+//   - Only the fabric recycles, and only at a death point: a recycled
+//     packet must have no other referents.
+//   - Recycle on a non-pooled packet is a no-op, so callers never need
+//     to know a packet's provenance to drop it.
+//   - A shallow copy of a pooled packet (e.g. stripping its TPP)
+//     aliases the original's buffers; the original must then be
+//     abandoned to the garbage collector, never recycled.
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// ClonePooled deep-copies the packet like Clone, but draws the copy
+// and its buffers from the packet pool.  The copy must eventually be
+// passed to Recycle (fabric drop) or Adopt (delivery to an end-host).
+func (p *Packet) ClonePooled() *Packet {
+	c := packetPool.Get().(*Packet)
+	// Keep the recycled packet's sub-structures so their buffer
+	// capacity is reused by the copy below.
+	tpp, ip, udp, payload := c.TPP, c.IP, c.UDP, c.Payload
+	*c = *p
+	c.pooled = true
+	c.Payload = append(payload[:0], p.Payload...)
+	if p.TPP != nil {
+		if tpp == nil {
+			tpp = &TPP{}
+		}
+		ins, mem := tpp.Ins, tpp.Mem
+		*tpp = *p.TPP
+		tpp.Ins = append(ins[:0], p.TPP.Ins...)
+		tpp.Mem = append(mem[:0], p.TPP.Mem...)
+		c.TPP = tpp
+	}
+	if p.IP != nil {
+		var opts []byte
+		if ip == nil {
+			ip = &IPv4{}
+		} else {
+			opts = ip.Options
+		}
+		*ip = *p.IP
+		ip.Options = append(opts[:0], p.IP.Options...)
+		c.IP = ip
+	}
+	if p.UDP != nil {
+		if udp == nil {
+			udp = &UDP{}
+		}
+		*udp = *p.UDP
+		c.UDP = udp
+	}
+	return c
+}
+
+// Pooled reports whether the packet is owned by the packet pool (a
+// ClonePooled copy that has been neither recycled nor adopted).
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// Adopt transfers ownership of a pooled packet to the caller: the
+// packet will never return to the pool, so the caller may retain it
+// and its buffers indefinitely.  End-hosts adopt every delivered
+// packet.  Adopting a non-pooled packet is a no-op.
+func (p *Packet) Adopt() { p.pooled = false }
+
+// Recycle returns a pooled packet to the pool.  The caller must hold
+// the only reference; the packet and its TPP/IP/UDP/Payload buffers
+// are reused by a future ClonePooled.  Recycling a non-pooled packet
+// is a no-op, so drop paths can call it unconditionally.
+func (p *Packet) Recycle() {
+	if !p.pooled {
+		return
+	}
+	p.pooled = false
+	packetPool.Put(p)
+}

@@ -60,6 +60,10 @@ func (h *Host) HandleDefault(fn Handler) { h.fallback = fn }
 // Receive implements netsim.Receiver.
 func (h *Host) Receive(pkt *core.Packet, port int) {
 	_ = port
+	// Delivery transfers ownership out of the fabric: a flooded copy
+	// drawn from the packet pool is now the host's to keep, so it must
+	// never return to the pool.
+	pkt.Adopt()
 	// Echo executed TPP probes transparently, before demultiplexing:
 	// this is the paper's receiver behavior for the collect phase.
 	if pkt.TPP != nil && pkt.UDP != nil && pkt.UDP.DstPort == ProbeEchoPort {
@@ -111,14 +115,14 @@ func (h *Host) NextUID() uint64 { return h.uid() }
 
 // NewPacket builds a unicast data packet from this host.
 func (h *Host) NewPacket(dstMAC core.MAC, dstIP uint32, srcPort, dstPort uint16, payloadLen int) *core.Packet {
-	return &core.Packet{
-		Eth: core.Ethernet{Dst: dstMAC, Src: h.MAC, Type: core.EtherTypeIPv4},
-		IP: &core.IPv4{TTL: 64, Proto: core.ProtoUDP,
-			Src: h.IP, Dst: dstIP},
-		UDP:    &core.UDP{SrcPort: srcPort, DstPort: dstPort},
-		PadLen: payloadLen,
-		Meta:   core.Metadata{UID: h.uid()},
-	}
+	pkt := core.NewUDPPacket(
+		core.Ethernet{Dst: dstMAC, Src: h.MAC, Type: core.EtherTypeIPv4},
+		core.IPv4{TTL: 64, Proto: core.ProtoUDP, Src: h.IP, Dst: dstIP},
+		core.UDP{SrcPort: srcPort, DstPort: dstPort},
+	)
+	pkt.PadLen = payloadLen
+	pkt.Meta = core.Metadata{UID: h.uid()}
+	return pkt
 }
 
 // Send queues a packet on the NIC.

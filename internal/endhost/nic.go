@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/tcpu"
 	"repro/internal/verify"
 )
 
@@ -17,15 +18,31 @@ import (
 const DefaultNICQueue = 256
 
 // NIC is a host network interface: a FIFO transmit queue in front of
-// one egress channel.
+// one egress channel.  The NIC is also the trusted edge of the TPP
+// architecture: it seals tenant identities, statically verifies
+// programs at injection (§3.5), and — since verification proves a
+// program safe exactly once — compiles it exactly once too, caching
+// both by the program's wire bytes so repeated flows pay neither cost
+// again.
 type NIC struct {
-	ch    *netsim.Channel
+	ch *netsim.Channel
+	// queue[qhead:] are the waiting packets; kick advances qhead so
+	// the backing array is reused instead of re-sliced away.
 	queue []*core.Packet
+	qhead int
 	max   int
 
 	verifier  *verify.Config
 	mRejected *obs.Counter
 	tenant    uint8
+
+	// progCache compiles injected programs once, keyed by wire bytes
+	// (built lazily on the first TPP send so the config can account
+	// for the verifier's device limits).  vcache memoizes verification
+	// results by the full static shape of the TPP; both reset when the
+	// verifier or tenant changes.
+	progCache *tcpu.Cache
+	vcache    map[verifyKey]verify.Result
 
 	// Drops counts transmit-queue tail drops.
 	Drops uint64
@@ -63,7 +80,7 @@ func (n *NIC) SetCapacity(max int) {
 }
 
 // QueueLen returns the number of packets waiting to transmit.
-func (n *NIC) QueueLen() int { return len(n.queue) }
+func (n *NIC) QueueLen() int { return len(n.queue) - n.qhead }
 
 // SetVerifier installs the end-host sanity check of §3.5: every
 // TPP-bearing packet is statically verified at injection time and
@@ -75,6 +92,10 @@ func (n *NIC) QueueLen() int { return len(n.queue) }
 func (n *NIC) SetVerifier(cfg *verify.Config, rejected *obs.Counter) {
 	n.verifier = cfg
 	n.mRejected = rejected
+	// Cached verdicts and compilations were produced under the old
+	// config; drop them.
+	n.progCache = nil
+	n.vcache = nil
 }
 
 // SetTenant binds the NIC to an isolation principal.  The NIC is the
@@ -83,7 +104,10 @@ func (n *NIC) SetVerifier(cfg *verify.Config, rejected *obs.Counter) {
 // overwriting whatever the guest wrote: identities are sealed at the
 // edge, never claimed by guests.  An unconfigured NIC is an
 // infrastructure (operator, id 0) NIC.
-func (n *NIC) SetTenant(id uint8) { n.tenant = id }
+func (n *NIC) SetTenant(id uint8) {
+	n.tenant = id
+	n.vcache = nil // verdicts may depend on the sealed identity
+}
 
 // Tenant returns the sealed tenant id.
 func (n *NIC) Tenant() uint8 { return n.tenant }
@@ -96,16 +120,29 @@ func (n *NIC) Send(pkt *core.Packet) bool {
 		// verification, which must judge the program as the tenant it
 		// will actually run as.
 		pkt.TPP.Tenant = n.tenant
-	}
-	if n.verifier != nil && pkt.TPP != nil {
-		n.LastVerify = verify.Verify(pkt.TPP, *n.verifier)
-		if !n.LastVerify.OK() {
-			n.Rejected++
-			n.mRejected.Inc()
-			return false
+		if n.verifier != nil {
+			n.LastVerify = n.verifyCached(pkt.TPP)
+			if !n.LastVerify.OK() {
+				n.Rejected++
+				n.mRejected.Inc()
+				return false
+			}
+		}
+		// Compile once at the edge and attach the shared immutable
+		// program, so every TCPU on the path whose device config
+		// matches executes it directly.
+		if n.progCache == nil {
+			cfg := tcpu.Config{}
+			if n.verifier != nil {
+				cfg.MaxInstructions = n.verifier.MaxInstructions
+			}
+			n.progCache = tcpu.NewCache(cfg, 0)
+		}
+		if prog := n.progCache.Get(pkt.TPP); prog != nil {
+			pkt.TPP.Compiled = prog
 		}
 	}
-	if len(n.queue) >= n.max {
+	if n.QueueLen() >= n.max {
 		n.Drops++
 		return false
 	}
@@ -114,13 +151,60 @@ func (n *NIC) Send(pkt *core.Packet) bool {
 	return true
 }
 
+// verifyKey is the full static shape verification judges: every TPP
+// field Verify reads except packet-memory contents (which it never
+// inspects).  The verifier config and sealed tenant are fixed per NIC
+// and reset the cache when they change.
+type verifyKey struct {
+	n        uint8
+	mode     core.AddrMode
+	version  uint8
+	tenant   uint8
+	ptr      uint16
+	hopLen   uint16
+	memWords uint16
+	ins      [tcpu.MaxCachedInstructions]uint32
+}
+
+// maxVerifyCache bounds the memoized verdict map; NICs see a handful
+// of distinct programs, so overflow means an adversarial workload and
+// a full reset is the simplest safe answer.
+const maxVerifyCache = 1024
+
+func (n *NIC) verifyCached(t *core.TPP) verify.Result {
+	if len(t.Ins) > tcpu.MaxCachedInstructions {
+		return verify.Verify(t, *n.verifier)
+	}
+	k := verifyKey{
+		n: uint8(len(t.Ins)), mode: t.Mode, version: t.Version,
+		tenant: t.Tenant, ptr: t.Ptr, hopLen: t.HopLen,
+		memWords: uint16(t.MemWords()),
+	}
+	for i, in := range t.Ins {
+		k.ins[i] = in.Word()
+	}
+	if res, ok := n.vcache[k]; ok {
+		return res
+	}
+	res := verify.Verify(t, *n.verifier)
+	if n.vcache == nil || len(n.vcache) >= maxVerifyCache {
+		n.vcache = make(map[verifyKey]verify.Result, 64)
+	}
+	n.vcache[k] = res
+	return res
+}
+
 func (n *NIC) kick() {
-	if n.ch == nil || n.ch.Busy() || len(n.queue) == 0 {
+	if n.ch == nil || n.ch.Busy() || n.qhead == len(n.queue) {
 		return
 	}
-	pkt := n.queue[0]
-	n.queue[0] = nil
-	n.queue = n.queue[1:]
+	pkt := n.queue[n.qhead]
+	n.queue[n.qhead] = nil
+	n.qhead++
+	if n.qhead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qhead = 0
+	}
 	n.Sent++
 	n.ch.Send(pkt)
 }

@@ -20,13 +20,19 @@ import (
 	"repro/internal/obs"
 )
 
+// telemetryIns is the probe's instruction text, shared read-only by
+// every instrumented packet: instruction sections are immutable in
+// flight (only packet memory mutates), so per-packet instrumentation
+// need not copy it.
+var telemetryIns = []core.Instruction{
+	{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+}
+
 // TelemetryProgram returns the §2.1 probe: one queue-size snapshot per
 // hop ("PUSH [Queue:QueueSize] copies the queue register onto packet
 // memory").
 func TelemetryProgram(maxHops int) *core.TPP {
-	return core.NewTPP(core.AddrStack, []core.Instruction{
-		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
-	}, maxHops)
+	return core.NewTPP(core.AddrStack, telemetryIns, maxHops)
 }
 
 // Instrument attaches a fresh telemetry TPP to a data packet, turning

@@ -31,6 +31,7 @@ type Channel struct {
 
 	busyUntil Time
 	onIdle    func()
+	idleFn    func() // c.notifyIdle bound once; scheduled per send
 
 	loss LossModel
 
@@ -65,7 +66,15 @@ func NewChannel(sim *Sim, rate int64, delay Time, dst Receiver, dstPort int) *Ch
 	if delay < 0 {
 		panic("netsim: negative propagation delay")
 	}
-	return &Channel{sim: sim, rate: rate, delay: delay, dst: dst, dstPort: dstPort}
+	c := &Channel{sim: sim, rate: rate, delay: delay, dst: dst, dstPort: dstPort}
+	c.idleFn = c.notifyIdle
+	return c
+}
+
+func (c *Channel) notifyIdle() {
+	if c.onIdle != nil {
+		c.onIdle()
+	}
 }
 
 // Rate returns the channel capacity in bits per second.
@@ -159,44 +168,70 @@ func (c *Channel) Send(pkt *core.Packet) Time {
 		At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
 		Stage: obs.StageLinkTx, A: uint64(wire), B: uint64(ser),
 	})
-	c.sim.At(done, func() {
-		if c.onIdle != nil {
-			c.onIdle()
-		}
-	})
-
 	// The frame's fate is decided now (loss models are sampled in
 	// transmission order, keeping runs seed-replayable), but counted
-	// and recorded when the last bit would have arrived.  A Tracer
-	// records through a nil receiver as a no-op, so none of the
-	// arrival paths need a nil guard.
+	// and recorded when the last bit would have arrived.  The fate and
+	// link epoch are packed into the event's arg word so the arrival
+	// path captures nothing (see DeliverAt).
 	downAtSend := c.down
-	epoch := c.downEpoch
 	lost := !downAtSend && c.loss != nil && c.loss.Lost()
-	c.sim.At(done+c.delay, func() {
-		switch {
-		case downAtSend, c.down, c.downEpoch != epoch:
-			// Sent into, or overtaken by, a dead link.
-			c.PacketsDownDrops++
-			c.trace.Record(obs.SpanEvent{
-				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
-				Stage: obs.StageLinkDown, A: uint64(wire),
-			})
-		case lost:
-			// The frame occupied the wire but arrives corrupted and
-			// is discarded by the receiver's FCS check.
-			c.PacketsLost++
-			c.trace.Record(obs.SpanEvent{
-				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
-				Stage: obs.StageLinkLoss, A: uint64(wire),
-			})
-		default:
-			c.trace.Record(obs.SpanEvent{
-				At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
-				Stage: obs.StageLinkRx, A: uint64(c.dstPort), B: uint64(wire),
-			})
-			c.dst.Receive(pkt, c.dstPort)
-		}
-	})
+	arg := c.downEpoch << 3
+	if downAtSend {
+		arg |= argDown
+	}
+	if lost {
+		arg |= argLost
+	}
+	if c.delay == 0 {
+		// The transmit-complete interrupt and the last-bit arrival
+		// coincide; fold both into one event, firing idle first — the
+		// same order the two separate events have on delayed links.
+		c.sim.AtPacket(done, c, pkt, arg|argIdle)
+	} else {
+		c.sim.At(done, c.idleFn)
+		c.sim.AtPacket(done+c.delay, c, pkt, arg)
+	}
 	return done
+}
+
+// Arrival event arg layout: fate bits below the send-time link epoch.
+const (
+	argDown = 1 << 0
+	argLost = 1 << 1
+	argIdle = 1 << 2
+)
+
+// DeliverAt implements PacketDelivery: the frame's last bit arrives.
+// A Tracer records through a nil receiver as a no-op, so none of the
+// arrival paths need a nil guard.
+func (c *Channel) DeliverAt(pkt *core.Packet, arg uint64) {
+	if arg&argIdle != 0 {
+		c.notifyIdle()
+	}
+	wire := pkt.WireLen()
+	switch {
+	case arg&argDown != 0, c.down, c.downEpoch != arg>>3:
+		// Sent into, or overtaken by, a dead link.
+		c.PacketsDownDrops++
+		c.trace.Record(obs.SpanEvent{
+			At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+			Stage: obs.StageLinkDown, A: uint64(wire),
+		})
+		pkt.Recycle()
+	case arg&argLost != 0:
+		// The frame occupied the wire but arrives corrupted and is
+		// discarded by the receiver's FCS check.
+		c.PacketsLost++
+		c.trace.Record(obs.SpanEvent{
+			At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+			Stage: obs.StageLinkLoss, A: uint64(wire),
+		})
+		pkt.Recycle()
+	default:
+		c.trace.Record(obs.SpanEvent{
+			At: int64(c.sim.Now()), UID: pkt.Meta.UID, Node: c.traceID,
+			Stage: obs.StageLinkRx, A: uint64(c.dstPort), B: uint64(wire),
+		})
+		c.dst.Receive(pkt, c.dstPort)
+	}
 }

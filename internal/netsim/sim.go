@@ -6,9 +6,10 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/core"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -34,35 +35,63 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // String formats the time in seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-type event struct {
-	at  Time
-	seq uint64
+// PacketDelivery is the allocation-free alternative to scheduling a
+// closure for per-packet events: the receiver is stored directly in
+// the event along with the packet and one word of caller-packed
+// context, so the scheduler's hot path (one event per serialized
+// frame, one per pipeline stage) captures nothing.
+type PacketDelivery interface {
+	// DeliverAt is invoked at the event's time with the packet and the
+	// arg value passed to AtPacket.
+	DeliverAt(pkt *core.Packet, arg uint64)
+}
+
+// eventKey is the heap's sort record: firing time, FIFO tiebreak, and
+// the index of the event's payload in the slot slab.  Keys are
+// pointer-free on purpose — sifting swaps only keys, so heap
+// maintenance never triggers GC write barriers (which dominated the
+// hot-path profile when the heap held the payload pointers directly).
+type eventKey struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// eventPayload is either a closure event (fn != nil) or a packet event
+// (pd != nil); exactly one of the two is set.  Payloads live in a
+// stable slab and never move while queued; each slot is written once at
+// push and cleared once at pop.
+type eventPayload struct {
 	fn  func()
+	pd  PacketDelivery
+	pkt *core.Packet
+	arg uint64
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Sim is a discrete-event scheduler.  Events at equal times fire in
 // scheduling order (FIFO), which makes runs fully deterministic for a
 // given seed.  Sim is not safe for concurrent use: the dataplane model
 // is single-threaded, like one ASIC pipeline.
+//
+// The event queue is a hand-rolled binary min-heap of pointer-free
+// keys over a slot slab (see eventKey); container/heap would box every
+// pushed event into an interface, allocating once per scheduled event —
+// the single largest allocation source on the packet hot path.
 type Sim struct {
 	now     Time
-	events  eventHeap
+	keys    []eventKey
+	slots   []eventPayload
+	free    []int32 // recycled slot indices
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+}
+
+func (s *Sim) keyLess(i, j int) bool {
+	if s.keys[i].at != s.keys[j].at {
+		return s.keys[i].at < s.keys[j].at
+	}
+	return s.keys[i].seq < s.keys[j].seq
 }
 
 // New creates a simulator whose random source is seeded with seed, so
@@ -78,7 +107,7 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return len(s.keys) }
 
 // At schedules fn to run at absolute time t.  Scheduling in the past
 // panics: it is always a modeling bug.
@@ -86,12 +115,85 @@ func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
 	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	slot := s.alloc()
+	s.slots[slot].fn = fn
+	s.push(t, slot)
+}
+
+// AtPacket schedules pd.DeliverAt(pkt, arg) at absolute time t without
+// allocating: channels and switches use it for frame arrivals and
+// pipeline stages instead of capturing the packet in a closure.
+func (s *Sim) AtPacket(t Time, pd PacketDelivery, pkt *core.Packet, arg uint64) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
+	}
+	slot := s.alloc()
+	s.slots[slot] = eventPayload{pd: pd, pkt: pkt, arg: arg}
+	s.push(t, slot)
 }
 
 // After schedules fn to run d from now.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// alloc returns a free payload slot, growing the slab if none are
+// recycled.
+func (s *Sim) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	s.slots = append(s.slots, eventPayload{})
+	return int32(len(s.slots) - 1)
+}
+
+func (s *Sim) push(t Time, slot int32) {
+	s.seq++
+	h := append(s.keys, eventKey{at: t, seq: s.seq, slot: slot})
+	s.keys = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.keyLess(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes the earliest event, returning its time and payload.  The
+// payload's slot is cleared (releasing the packet/closure references)
+// and recycled before the caller runs the event, so re-entrant
+// scheduling from inside the event sees a consistent queue.
+func (s *Sim) pop() (Time, eventPayload) {
+	h := s.keys
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.keys = h[:n]
+	// Sift down (pointer-free swaps: no write barriers).
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.keyLess(r, l) {
+			m = r
+		}
+		if !s.keyLess(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e := s.slots[top.slot]
+	s.slots[top.slot] = eventPayload{}
+	s.free = append(s.free, top.slot)
+	return top.at, e
+}
 
 // Stop makes Run and RunUntil return after the current event.
 func (s *Sim) Stop() { s.stopped = true }
@@ -99,7 +201,7 @@ func (s *Sim) Stop() { s.stopped = true }
 // Run processes events until the queue drains or Stop is called.
 func (s *Sim) Run() {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
+	for len(s.keys) > 0 && !s.stopped {
 		s.step()
 	}
 }
@@ -108,7 +210,7 @@ func (s *Sim) Run() {
 // advances the clock to exactly t.
 func (s *Sim) RunUntil(t Time) {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped && s.events[0].at <= t {
+	for len(s.keys) > 0 && !s.stopped && s.keys[0].at <= t {
 		s.step()
 	}
 	if !s.stopped && t > s.now {
@@ -117,9 +219,13 @@ func (s *Sim) RunUntil(t Time) {
 }
 
 func (s *Sim) step() {
-	e := heap.Pop(&s.events).(event)
-	s.now = e.at
-	e.fn()
+	at, e := s.pop()
+	s.now = at
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.pd.DeliverAt(e.pkt, e.arg)
 }
 
 // Ticker fires a callback periodically until stopped.
@@ -127,6 +233,7 @@ type Ticker struct {
 	sim     *Sim
 	period  Time
 	fn      func()
+	tickFn  func() // t.tick bound once, so rescheduling never allocates
 	stopped bool
 }
 
@@ -137,7 +244,8 @@ func (s *Sim) Every(start, period Time, fn func()) *Ticker {
 		panic("netsim: ticker period must be positive")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	s.At(start, t.tick)
+	t.tickFn = t.tick
+	s.At(start, t.tickFn)
 	return t
 }
 
@@ -147,7 +255,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped {
-		t.sim.After(t.period, t.tick)
+		t.sim.After(t.period, t.tickFn)
 	}
 }
 

@@ -1,0 +1,538 @@
+package tcpu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// experimentPrograms returns one TPP per distinct program the
+// experiments inject, reconstructed from their construction sites, plus
+// the header state (pre-filled memory, stack pointer, hop-mode fields)
+// each sender sets.  They are both the differential-test corpus and the
+// FuzzCompile seeds, so the compiled path is proven identical to the
+// interpreter on exactly the programs the paper's tasks run.
+func experimentPrograms() map[string]*core.TPP {
+	sramStat := uint16(mem.SRAMBase + 3)
+	swID := uint16(mem.SwitchBase + mem.SwitchID)
+	swEpoch := uint16(mem.SwitchBase + mem.SwitchEpoch)
+	progs := map[string]*core.TPP{}
+
+	// microburst.TelemetryProgram: the §2.1 per-hop queue snapshot.
+	progs["microburst-telemetry"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+	}, 4)
+
+	// microburst.BreakdownProgram: queue bytes plus drain capacity.
+	progs["microburst-breakdown"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+		{Op: core.OpPUSH, A: uint16(mem.PortBase + mem.PortCapacity)},
+	}, 8)
+
+	// ndb.TraceProgram: the §2.3 four-word per-hop trace.
+	progs["ndb-trace"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: swID},
+		{Op: core.OpPUSH, A: uint16(mem.PacketBase + mem.PacketMatchedID)},
+		{Op: core.OpPUSH, A: uint16(mem.PacketBase + mem.PacketInputPort)},
+		{Op: core.OpPUSH, A: uint16(mem.PacketBase + mem.PacketMatchedVer)},
+	}, 20)
+
+	// wireless.SNRProgram: per-hop port SNR.
+	progs["wireless-snr"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.PortBase + mem.PortSNR)},
+	}, 3)
+
+	// rcp.StarController.sendUpdate: gated rate write.
+	rcpUpdate := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpSTORE, A: sramStat, B: 2},
+	}, 3)
+	rcpUpdate.SetWord(0, 0xFFFFFFFF)
+	rcpUpdate.SetWord(1, 7)
+	rcpUpdate.SetWord(2, 123456)
+	rcpUpdate.Ptr = 12
+	progs["rcp-star-update"] = rcpUpdate
+
+	// accounting.Counter.readRetry: gated value+epoch read.
+	acctRead := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpLOAD, A: sramStat, B: 2},
+		{Op: core.OpLOAD, A: swEpoch, B: 3},
+	}, 4)
+	acctRead.SetWord(0, 0xFFFFFFFF)
+	acctRead.SetWord(1, 7)
+	progs["accounting-read"] = acctRead
+
+	// accounting linearizable add: gated CSTORE.
+	acctAdd := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpCSTORE, A: sramStat, B: 2},
+	}, 5)
+	acctAdd.SetWord(0, 0xFFFFFFFF)
+	acctAdd.SetWord(1, 7)
+	acctAdd.SetWord(2, 10)
+	acctAdd.SetWord(3, 14)
+	progs["accounting-cstore"] = acctAdd
+
+	// accounting racy add: gated blind STORE.
+	acctRacy := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpSTORE, A: sramStat, B: 2},
+	}, 3)
+	acctRacy.SetWord(0, 0xFFFFFFFF)
+	acctRacy.SetWord(1, 7)
+	acctRacy.SetWord(2, 99)
+	progs["accounting-racy"] = acctRacy
+
+	// inband scenario RTT measure: single LOAD.
+	progs["inband-measure"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpLOAD, A: swID, B: 0},
+	}, 1)
+
+	// inband.Writer: gated CSTORE plus epoch read.
+	inbandW := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpCSTORE, A: sramStat, B: 2},
+		{Op: core.OpLOAD, A: swEpoch, B: 5},
+	}, 6)
+	inbandW.SetWord(0, 0xFFFFFFFF)
+	inbandW.SetWord(1, 7)
+	inbandW.SetWord(2, 4)
+	inbandW.SetWord(3, 5)
+	progs["inband-writer"] = inbandW
+
+	// endhost.GatedChunkProgram: gate plus a LOAD sweep.
+	gated := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpCEXEC, A: swID, B: 0},
+		{Op: core.OpLOAD, A: sramStat, B: 3},
+		{Op: core.OpLOAD, A: sramStat + 1, B: 4},
+	}, 5)
+	gated.SetWord(0, 0xFFFFFFFF)
+	gated.SetWord(1, 7)
+	progs["endhost-gated-chunk"] = gated
+
+	// endhost.CollectProgram: a PUSH per statistic.
+	progs["endhost-collect"] = core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+		{Op: core.OpPUSH, A: uint16(mem.PortBase + mem.PortCapacity)},
+	}, 6)
+
+	// faults rogue tenant: a blind forged STORE.
+	rogue := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpSTORE, A: sramStat, B: 0},
+	}, 1)
+	rogue.SetWord(0, 0xDEADBEEF)
+	progs["faults-rogue-write"] = rogue
+
+	// Hop-addressed variant of the ndb trace (the DESIGN.md §5
+	// addressing-mode ablation).
+	hop := core.NewTPP(core.AddrHop, []core.Instruction{
+		{Op: core.OpLOAD, A: swID, B: 0},
+		{Op: core.OpLOAD, A: uint16(mem.QueueBase + mem.QueueBytes), B: 1},
+	}, 8)
+	hop.HopLen = 8
+	progs["hop-mode-trace"] = hop
+
+	return progs
+}
+
+// diffViews returns two identically pre-seeded views, one for the
+// interpreter and one for the compiled program.
+func diffViews() (*fakeView, *fakeView) {
+	seed := func() *fakeView {
+		v := newFakeView()
+		v.words[mem.Addr(mem.SwitchBase+mem.SwitchID)] = 7
+		v.words[mem.Addr(mem.QueueBase+mem.QueueBytes)] = 1500
+		v.words[mem.Addr(mem.SRAMBase+3)] = 10
+		return v
+	}
+	return seed(), seed()
+}
+
+// diffExec runs t through the interpreter and the compiled path under
+// cfg and fails the test unless every observable — the Result, the
+// mutated TPP, and the view's memory — is identical.
+func diffExec(t *testing.T, tpp *core.TPP, cfg Config) {
+	t.Helper()
+	ti, tc := tpp.Clone(), tpp.Clone()
+	vi, vc := diffViews()
+
+	ri := cfg.Exec(ti, vi)
+	rc := Compile(cfg, tc).Exec(tc, vc)
+
+	if (ri.Fault == nil) != (rc.Fault == nil) {
+		t.Fatalf("fault mismatch: interpreter %v, compiled %v", ri.Fault, rc.Fault)
+	}
+	if ri.Fault != nil && ri.Fault.Error() != rc.Fault.Error() {
+		t.Fatalf("fault text mismatch:\n  interpreter: %v\n  compiled:    %v", ri.Fault, rc.Fault)
+	}
+	ri.Fault, rc.Fault = nil, nil
+	if fmt.Sprintf("%+v", ri) != fmt.Sprintf("%+v", rc) {
+		t.Fatalf("result mismatch:\n  interpreter: %+v\n  compiled:    %+v", ri, rc)
+	}
+	if ti.Ptr != tc.Ptr || ti.Flags != tc.Flags || ti.HopLen != tc.HopLen {
+		t.Fatalf("TPP header mismatch: interpreter ptr=%d flags=%x, compiled ptr=%d flags=%x",
+			ti.Ptr, ti.Flags, tc.Ptr, tc.Flags)
+	}
+	if !bytes.Equal(ti.Mem, tc.Mem) {
+		t.Fatalf("packet memory mismatch:\n  interpreter: %x\n  compiled:    %x", ti.Mem, tc.Mem)
+	}
+	if len(vi.words) != len(vc.words) {
+		t.Fatalf("view word counts differ: %d vs %d", len(vi.words), len(vc.words))
+	}
+	for a, w := range vi.words {
+		if vc.words[a] != w {
+			t.Fatalf("view word %v: interpreter %d, compiled %d", a, w, vc.words[a])
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreter proves the compiled path behaviorally
+// identical to the interpreter on every experiment program, across
+// device limits (including ones the programs exceed) and span
+// recording.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	for name, prog := range experimentPrograms() {
+		for _, maxIns := range []int{0, 2, 16} {
+			for _, spans := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/max%d/spans=%v", name, maxIns, spans), func(t *testing.T) {
+					diffExec(t, prog, Config{MaxInstructions: maxIns, RecordSpans: spans})
+				})
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesInterpreterOnFaults covers shapes the verifier
+// would reject but a switch must still fault identically on: bad
+// version, bad mode, misaligned header fields, stack misuse, unknown
+// opcodes, and unknown opcodes shadowed by a halting CEXEC.
+func TestCompiledMatchesInterpreterOnFaults(t *testing.T) {
+	sram := uint16(mem.SRAMBase)
+	mk := func(mut func(*core.TPP)) *core.TPP {
+		tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)},
+		}, 2)
+		mut(tpp)
+		return tpp
+	}
+	cases := map[string]*core.TPP{
+		"bad-version":    mk(func(t *core.TPP) { t.Version = 9 }),
+		"bad-mode":       mk(func(t *core.TPP) { t.Mode = 3 }),
+		"misaligned-ptr": mk(func(t *core.TPP) { t.Ptr = 3 }),
+		"push-overflow":  mk(func(t *core.TPP) { t.Ptr = 8 }),
+		"pop-underflow": core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpPOP, A: sram}}, 2),
+		"push-in-hop-mode": func() *core.TPP {
+			t := core.NewTPP(core.AddrHop, []core.Instruction{
+				{Op: core.OpPUSH, A: sram}}, 2)
+			t.HopLen = 4
+			return t
+		}(),
+		"unknown-opcode": core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: 200, A: sram}}, 1),
+		"unknown-opcode-after-halting-cexec": func() *core.TPP {
+			t := core.NewTPP(core.AddrStack, []core.Instruction{
+				{Op: core.OpCEXEC, A: uint16(mem.SwitchBase + mem.SwitchID), B: 0},
+				{Op: 200, A: sram},
+			}, 2)
+			t.SetWord(0, 0xFFFFFFFF)
+			t.SetWord(1, 12345) // never matches SwitchID 7: CEXEC halts first
+			return t
+		}(),
+		"packet-mem-oob": core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpLOAD, A: uint16(mem.SwitchBase + mem.SwitchID), B: 9}}, 2),
+		"too-long": core.NewTPP(core.AddrStack, make([]core.Instruction, 7), 1),
+	}
+	for name, prog := range cases {
+		for _, spans := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/spans=%v", name, spans), func(t *testing.T) {
+				diffExec(t, prog, Config{MaxInstructions: 5, RecordSpans: spans})
+			})
+		}
+	}
+}
+
+// FuzzCompile is the differential fuzz target the compilation pass is
+// gated on: any parseable TPP must execute identically through the
+// interpreter and the compiled path, under a fuzzed device limit and
+// with spans on and off.  Seeds are the wire bytes of every experiment
+// program.
+func FuzzCompile(f *testing.F) {
+	for _, prog := range experimentPrograms() {
+		f.Add(prog.AppendTo(nil), uint8(5))
+	}
+	// A corrupt header and an unknown-opcode body, so the fault paths
+	// start covered.
+	bad := core.NewTPP(core.AddrStack, []core.Instruction{{Op: 99, A: 1, B: 1}}, 1)
+	f.Add(bad.AppendTo(nil), uint8(1))
+
+	f.Fuzz(func(t *testing.T, wire []byte, maxIns uint8) {
+		var tpp core.TPP
+		if _, err := core.ParseTPP(wire, &tpp); err != nil {
+			return // not a TPP; parsing is fuzzed elsewhere
+		}
+		for _, spans := range []bool{false, true} {
+			cfg := Config{MaxInstructions: int(maxIns % 32), RecordSpans: spans}
+			ti, tc := tpp.Clone(), tpp.Clone()
+			vi, vc := diffViews()
+			ri := cfg.Exec(ti, vi)
+			rc := Compile(cfg, tc).Exec(tc, vc)
+
+			if (ri.Fault == nil) != (rc.Fault == nil) {
+				t.Fatalf("fault mismatch: interpreter %v, compiled %v", ri.Fault, rc.Fault)
+			}
+			if ri.Fault != nil && ri.Fault.Error() != rc.Fault.Error() {
+				t.Fatalf("fault text mismatch: %v vs %v", ri.Fault, rc.Fault)
+			}
+			ri.Fault, rc.Fault = nil, nil
+			if fmt.Sprintf("%+v", ri) != fmt.Sprintf("%+v", rc) {
+				t.Fatalf("result mismatch:\n  interpreter: %+v\n  compiled:    %+v", ri, rc)
+			}
+			if ti.Ptr != tc.Ptr || ti.Flags != tc.Flags || !bytes.Equal(ti.Mem, tc.Mem) {
+				t.Fatal("TPP state diverged between interpreter and compiled path")
+			}
+			for a, w := range vi.words {
+				if vc.words[a] != w {
+					t.Fatalf("view word %v diverged: %d vs %d", a, w, vc.words[a])
+				}
+			}
+		}
+	})
+}
+
+// TestCompiledExecZeroAlloc pins the tentpole's allocation contract:
+// with spans off, executing a compiled program allocates nothing.
+func TestCompiledExecZeroAlloc(t *testing.T) {
+	cfg := Config{MaxInstructions: 16}
+	tpp := experimentPrograms()["microburst-telemetry"]
+	prog := Compile(cfg, tpp)
+	view, _ := diffViews()
+	if avg := testing.AllocsPerRun(200, func() {
+		tpp.Ptr = 0
+		if r := prog.Exec(tpp, view); r.Fault != nil {
+			t.Fatal(r.Fault)
+		}
+	}); avg != 0 {
+		t.Fatalf("compiled Exec allocated %.1f times per run, want 0", avg)
+	}
+}
+
+// TestCacheHitZeroAlloc pins the cache contract: once a program shape
+// is compiled, looking it up again allocates nothing.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c := NewCache(Config{MaxInstructions: 16}, 0)
+	tpp := experimentPrograms()["ndb-trace"]
+	if c.Get(tpp) == nil {
+		t.Fatal("Get returned nil for a cacheable program")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if c.Get(tpp) == nil {
+			t.Fatal("cached Get returned nil")
+		}
+	}); avg != 0 {
+		t.Fatalf("cache hit allocated %.1f times per run, want 0", avg)
+	}
+	if hits, _ := c.Stats(); hits == 0 {
+		t.Fatal("no hits recorded")
+	}
+}
+
+// TestCacheInvalidate checks that Invalidate forces recompilation (a
+// fresh miss) while the hit/miss counters survive, so device-state
+// transitions can be observed end to end.
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(Config{MaxInstructions: 16}, 0)
+	tpp := experimentPrograms()["microburst-telemetry"]
+	p1 := c.Get(tpp)
+	c.Get(tpp)
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d/%d, want 1 hit, 1 miss", h, m)
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Invalidate, want 0", c.Len())
+	}
+	p2 := c.Get(tpp)
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Fatalf("stats = %d/%d after invalidate, want 1 hit, 2 misses", h, m)
+	}
+	if p1 == p2 {
+		t.Fatal("Invalidate did not force a fresh compilation")
+	}
+}
+
+// TestCacheLRUEviction checks the capacity bound and LRU order.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(Config{MaxInstructions: 16}, 2)
+	mk := func(a uint16) *core.TPP {
+		return core.NewTPP(core.AddrStack, []core.Instruction{
+			{Op: core.OpPUSH, A: a}}, 1)
+	}
+	c.Get(mk(1))
+	c.Get(mk(2))
+	c.Get(mk(1)) // 1 is now most recent
+	c.Get(mk(3)) // evicts 2
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	_, misses := c.Stats()
+	c.Get(mk(1))
+	if _, m := c.Stats(); m != misses {
+		t.Fatal("program 1 was evicted, want it retained as most-recently-used")
+	}
+	c.Get(mk(2))
+	if _, m := c.Stats(); m != misses+1 {
+		t.Fatal("program 2 should have been the LRU eviction victim")
+	}
+}
+
+// TestCacheKeyedOnDeviceConfig: the same wire program compiled under
+// different device limits must behave per-device — a cache is bound to
+// one config and bakes it into the compilation.
+func TestCacheKeyedOnDeviceConfig(t *testing.T) {
+	tpp := experimentPrograms()["ndb-trace"] // 4 instructions
+	tight := NewCache(Config{MaxInstructions: 2}, 0)
+	roomy := NewCache(Config{MaxInstructions: 16}, 0)
+	view, _ := diffViews()
+
+	if r := tight.Get(tpp).Exec(tpp.Clone(), view); !errors.Is(r.Fault, ErrProgramTooLong) {
+		t.Fatalf("tight device fault = %v, want ErrProgramTooLong", r.Fault)
+	}
+	if r := roomy.Get(tpp).Exec(tpp.Clone(), view); r.Fault != nil {
+		t.Fatalf("roomy device fault = %v, want nil", r.Fault)
+	}
+}
+
+// TestCacheRefusesLongPrograms: programs beyond the keying bound fall
+// back to the interpreter (nil) instead of being miskeyed.
+func TestCacheRefusesLongPrograms(t *testing.T) {
+	c := NewCache(Config{MaxInstructions: 64}, 0)
+	long := core.NewTPP(core.AddrStack, make([]core.Instruction, MaxCachedInstructions+1), 1)
+	if c.Get(long) != nil {
+		t.Fatal("Get compiled a program longer than MaxCachedInstructions")
+	}
+}
+
+// TestFaultSentinels is the regression test for the fault-path
+// allocation fix: every fault class is a typed, errors.Is-able
+// sentinel; the bare sentinel is returned when spans are off (no
+// per-fault formatting on the hot path) and the formatted detail only
+// appears when span recording is on.  Both execution paths must agree.
+func TestFaultSentinels(t *testing.T) {
+	sram := uint16(mem.SRAMBase)
+	cases := []struct {
+		name     string
+		sentinel error
+		tpp      func() *core.TPP
+	}{
+		{"too-long", ErrProgramTooLong, func() *core.TPP {
+			return core.NewTPP(core.AddrStack, make([]core.Instruction, 7), 1)
+		}},
+		{"mode-mismatch", ErrModeMismatch, func() *core.TPP {
+			tpp := core.NewTPP(core.AddrHop, []core.Instruction{
+				{Op: core.OpPUSH, A: sram}}, 2)
+			tpp.HopLen = 4
+			return tpp
+		}},
+		{"stack-overflow", ErrStackOverflow, func() *core.TPP {
+			tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+				{Op: core.OpPUSH, A: uint16(mem.QueueBase + mem.QueueBytes)}}, 1)
+			tpp.Ptr = 4
+			return tpp
+		}},
+		{"stack-underflow", ErrStackUnderflow, func() *core.TPP {
+			return core.NewTPP(core.AddrStack, []core.Instruction{
+				{Op: core.OpPOP, A: sram}}, 1)
+		}},
+		{"packet-mem-oob", ErrPacketMemOOB, func() *core.TPP {
+			return core.NewTPP(core.AddrStack, []core.Instruction{
+				{Op: core.OpLOAD, A: uint16(mem.SwitchBase + mem.SwitchID), B: 9}}, 1)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, compiled := range []bool{false, true} {
+				// Spans off: the bare sentinel, nothing formatted.
+				cfg := Config{MaxInstructions: 5}
+				exec := func(tpp *core.TPP) Result {
+					if compiled {
+						return Compile(cfg, tpp).Exec(tpp, newFakeView())
+					}
+					return cfg.Exec(tpp, newFakeView())
+				}
+				r := exec(c.tpp())
+				if r.Fault != c.sentinel {
+					t.Fatalf("compiled=%v spans=off: fault = %v (%T), want the bare sentinel %v",
+						compiled, r.Fault, r.Fault, c.sentinel)
+				}
+
+				// Spans on: still errors.Is-able, now with detail.
+				cfg.RecordSpans = true
+				exec = func(tpp *core.TPP) Result {
+					if compiled {
+						return Compile(cfg, tpp).Exec(tpp, newFakeView())
+					}
+					return cfg.Exec(tpp, newFakeView())
+				}
+				r = exec(c.tpp())
+				if !errors.Is(r.Fault, c.sentinel) {
+					t.Fatalf("compiled=%v spans=on: fault %v is not errors.Is(%v)", compiled, r.Fault, c.sentinel)
+				}
+				if r.Fault.Error() == c.sentinel.Error() {
+					t.Fatalf("compiled=%v spans=on: fault %q carries no detail", compiled, r.Fault)
+				}
+				if !strings.Contains(r.Fault.Error(), c.sentinel.Error()) {
+					t.Fatalf("detail %q does not wrap sentinel text %q", r.Fault, c.sentinel)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownOpcodeSentinel covers the defense-in-depth runtime
+// opcode fault directly: opcodes outside the instruction set are
+// rejected statically by core.ValidateIns, so the interpreter's and
+// compiler's own unknown-opcode arms can only fire if the two sets
+// ever diverge — they must still follow the sentinel contract.
+func TestUnknownOpcodeSentinel(t *testing.T) {
+	if got := (Config{}).faultOpcode(core.Opcode(200)); got != ErrUnknownOpcode {
+		t.Fatalf("spans=off: %v, want the bare sentinel", got)
+	}
+	got := (Config{RecordSpans: true}).faultOpcode(core.Opcode(200))
+	if !errors.Is(got, ErrUnknownOpcode) || got.Error() == ErrUnknownOpcode.Error() {
+		t.Fatalf("spans=on: %v, want wrapped detail around ErrUnknownOpcode", got)
+	}
+}
+
+// TestFaultPathZeroAlloc pins the bugfix itself: a faulting packet on
+// the hot path (spans off) must not allocate — the old code built a
+// fmt.Errorf per faulting packet, a DoS vector under a fault storm.
+func TestFaultPathZeroAlloc(t *testing.T) {
+	cfg := Config{MaxInstructions: 5}
+	tpp := core.NewTPP(core.AddrStack, []core.Instruction{
+		{Op: core.OpPOP, A: uint16(mem.SRAMBase)}}, 1)
+	view := newFakeView()
+	prog := Compile(cfg, tpp)
+	if avg := testing.AllocsPerRun(200, func() {
+		tpp.Flags = 0
+		if r := prog.Exec(tpp, view); r.Fault != ErrStackUnderflow {
+			t.Fatalf("fault = %v", r.Fault)
+		}
+	}); avg != 0 {
+		t.Fatalf("compiled fault path allocated %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		tpp.Flags = 0
+		if r := cfg.Exec(tpp, view); r.Fault != ErrStackUnderflow {
+			t.Fatalf("fault = %v", r.Fault)
+		}
+	}); avg != 0 {
+		t.Fatalf("interpreter fault path allocated %.1f times per run, want 0", avg)
+	}
+}

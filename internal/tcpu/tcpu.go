@@ -11,8 +11,6 @@
 package tcpu
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/mem"
 )
@@ -104,7 +102,7 @@ func (c Config) Exec(t *core.TPP, view mem.View) (r Result) {
 	}()
 
 	if len(t.Ins) > c.maxIns() {
-		r.Fault = fmt.Errorf("tcpu: program length %d exceeds device limit %d", len(t.Ins), c.maxIns())
+		r.Fault = c.faultTooLong(len(t.Ins))
 		return r
 	}
 	if err := t.Validate(); err != nil {
@@ -169,7 +167,7 @@ func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result)
 
 	case core.OpPUSH:
 		if t.Mode != core.AddrStack {
-			r.Fault = fmt.Errorf("tcpu: PUSH requires stack addressing mode")
+			r.Fault = c.faultMode(in.Op)
 			return false
 		}
 		v, err := view.Load(mem.Addr(in.A))
@@ -179,7 +177,7 @@ func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result)
 		}
 		r.Loads++
 		if int(t.Ptr)+4 > len(t.Mem) {
-			r.Fault = fmt.Errorf("tcpu: packet memory exhausted: SP=%d, mem=%d bytes", t.Ptr, len(t.Mem))
+			r.Fault = c.faultStackOverflow(t.Ptr, len(t.Mem))
 			return false
 		}
 		t.SetWord(int(t.Ptr)/4, v)
@@ -187,18 +185,18 @@ func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result)
 
 	case core.OpPOP:
 		if t.Mode != core.AddrStack {
-			r.Fault = fmt.Errorf("tcpu: POP requires stack addressing mode")
+			r.Fault = c.faultMode(in.Op)
 			return false
 		}
 		if t.Ptr < 4 {
-			r.Fault = fmt.Errorf("tcpu: POP on empty stack")
+			r.Fault = c.faultStackUnderflow(t.Ptr)
 			return false
 		}
 		if int(t.Ptr) > len(t.Mem) {
 			// A wire-supplied stack pointer can point past packet
 			// memory; faulting (not panicking) keeps the dataplane
 			// robust against crafted frames.
-			r.Fault = fmt.Errorf("tcpu: POP with SP=%d past packet memory (%d bytes)", t.Ptr, len(t.Mem))
+			r.Fault = c.faultStackOOB(t.Ptr, len(t.Mem))
 			return false
 		}
 		t.Ptr -= 4
@@ -282,7 +280,7 @@ func (c Config) step(t *core.TPP, in core.Instruction, view mem.View, r *Result)
 		}
 
 	default:
-		r.Fault = fmt.Errorf("tcpu: unknown opcode %v", in.Op)
+		r.Fault = c.faultOpcode(in.Op)
 		return false
 	}
 	return true
@@ -321,7 +319,7 @@ func (c Config) condStore(view mem.View, a mem.Addr, cond, src uint32, r *Result
 // violation it faults the result and returns ok=false.
 func (c Config) getWord(t *core.TPP, r *Result, i int) (uint32, bool) {
 	if !t.InRange(i) {
-		r.Fault = fmt.Errorf("tcpu: packet memory word %d out of range (%d words)", i, t.MemWords())
+		r.Fault = c.faultPacketMem(i, t.MemWords())
 		return 0, false
 	}
 	return t.Word(i), true
@@ -330,7 +328,7 @@ func (c Config) getWord(t *core.TPP, r *Result, i int) (uint32, bool) {
 // putWord writes packet-memory word i with bounds checking.
 func (c Config) putWord(t *core.TPP, r *Result, i int, v uint32) bool {
 	if !t.InRange(i) {
-		r.Fault = fmt.Errorf("tcpu: packet memory word %d out of range (%d words)", i, t.MemWords())
+		r.Fault = c.faultPacketMem(i, t.MemWords())
 		return false
 	}
 	t.SetWord(i, v)

@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -json . | benchjson [-o FILE]
-//	benchjson [-o FILE] bench.jsonl
+//	go test -run '^$' -bench . -benchmem -json . | benchjson [-o FILE] [-extra FILE=REGEX]...
+//	benchjson [-o FILE] [-extra FILE=REGEX]... bench.jsonl
 //	benchjson -validate FILE
+//
+// Each -extra FILE=REGEX writes an additional artifact holding only the
+// results whose name matches REGEX, carved out of the same run — so one
+// benchmark invocation can maintain several committed trajectories
+// (e.g. BENCH_tcpu.json for the TCPU execution-path benchmarks next to
+// the full BENCH_obs.json).
 //
 // The tool is strict by design: it exits non-zero if the stream
 // contains a test failure, if any benchmark announced itself but never
 // produced a result line (a crash or a hang would look exactly like
 // that), or if no benchmark produced a result at all — an empty file
-// must never pass for a measurement.  -validate re-checks a previously
-// written file (CI uses it to prove the committed artifact parses and
-// is non-empty).
+// must never pass for a measurement.  The same rule applies per -extra:
+// a REGEX that selects nothing fails the run.  -validate re-checks a
+// previously written file (CI uses it to prove the committed artifact
+// parses and is non-empty).
 package main
 
 import (
@@ -55,6 +62,18 @@ type File struct {
 	Results   []Result `json:"results"`
 }
 
+// Filter returns a copy of the artifact holding only the results whose
+// name matches re, preserving order and the environment stamp.
+func (f *File) Filter(re *regexp.Regexp) *File {
+	sub := &File{GoVersion: f.GoVersion, GOOS: f.GOOS, GOARCH: f.GOARCH}
+	for _, r := range f.Results {
+		if re.MatchString(r.Name) {
+			sub.Results = append(sub.Results, r)
+		}
+	}
+	return sub
+}
+
 // A benchmark announces itself as a bare "BenchmarkX" line, then emits
 // "BenchmarkX-8  <iters>  <ns> ns/op [<b> B/op] [<allocs> allocs/op]"
 // per completed run.
@@ -63,20 +82,42 @@ var (
 	resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 )
 
+// extraOut is one -extra FILE=REGEX carve-out.
+type extraOut struct {
+	path string
+	re   *regexp.Regexp
+}
+
+const usage = "usage: benchjson [-o FILE] [-extra FILE=REGEX]... [input.jsonl] | benchjson -validate FILE"
+
 func main() {
 	outPath := "BENCH_obs.json"
 	validate := ""
+	var extras []extraOut
 	args := os.Args[1:]
 	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
 		switch {
 		case args[0] == "-o" && len(args) >= 2:
 			outPath = args[1]
 			args = args[2:]
+		case args[0] == "-extra" && len(args) >= 2:
+			path, expr, ok := strings.Cut(args[1], "=")
+			if !ok || path == "" || expr == "" {
+				fmt.Fprintf(os.Stderr, "benchjson: -extra wants FILE=REGEX, got %q\n", args[1])
+				os.Exit(2)
+			}
+			re, err := regexp.Compile(expr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -extra %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			extras = append(extras, extraOut{path: path, re: re})
+			args = args[2:]
 		case args[0] == "-validate" && len(args) >= 2:
 			validate = args[1]
 			args = args[2:]
 		default:
-			fmt.Fprintln(os.Stderr, "usage: benchjson [-o FILE] [input.jsonl] | benchjson -validate FILE")
+			fmt.Fprintln(os.Stderr, usage)
 			os.Exit(2)
 		}
 	}
@@ -99,7 +140,7 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if len(args) > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [-o FILE] [input.jsonl] | benchjson -validate FILE")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 
@@ -108,16 +149,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	b, err := json.MarshalIndent(out, "", "  ")
+	writeArtifact(outPath, out)
+	for _, ex := range extras {
+		sub := out.Filter(ex.re)
+		if len(sub.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -extra %s: regexp %q matched no results\n",
+				ex.path, ex.re)
+			os.Exit(1)
+		}
+		writeArtifact(ex.path, sub)
+	}
+}
+
+func writeArtifact(path string, f *File) {
+	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: wrote %d results to %s\n", len(out.Results), outPath)
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(f.Results), path)
 }
 
 // Convert parses a `go test -json` stream and returns the artifact, or

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -101,5 +102,28 @@ func TestConvertRejectsFailure(t *testing.T) {
 func TestConvertRejectsNonJSON(t *testing.T) {
 	if _, err := Convert(strings.NewReader("BenchmarkX-8 10 5 ns/op\n")); err == nil {
 		t.Fatal("plain bench output accepted as a -json stream")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := &File{GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", Results: []Result{
+		{Name: "BenchmarkPipelineTelemetry/disabled", Iterations: 1, NsPerOp: 1},
+		{Name: "BenchmarkTCPU/interpret", Iterations: 1, NsPerOp: 1},
+		{Name: "BenchmarkTCPU/compiled", Iterations: 1, NsPerOp: 1},
+	}}
+	sub := f.Filter(regexp.MustCompile(`^BenchmarkTCPU/`))
+	if len(sub.Results) != 2 {
+		t.Fatalf("filtered: %+v", sub.Results)
+	}
+	for _, r := range sub.Results {
+		if !strings.HasPrefix(r.Name, "BenchmarkTCPU/") {
+			t.Fatalf("leaked result %q", r.Name)
+		}
+	}
+	if sub.GoVersion != f.GoVersion || sub.GOOS != f.GOOS || sub.GOARCH != f.GOARCH {
+		t.Fatalf("environment stamp not preserved: %+v", sub)
+	}
+	if empty := f.Filter(regexp.MustCompile(`NoSuchBench`)); len(empty.Results) != 0 {
+		t.Fatalf("empty filter returned %+v", empty.Results)
 	}
 }
