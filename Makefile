@@ -5,11 +5,21 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet lint test race check soak fuzz bench bench-json bench-save experiments clean
+.PHONY: all build vet lint test race check soak soak-pooldebug allocgate allocgate-baseline fuzz bench bench-json bench-save experiments clean
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
-LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults ./internal/guard
+LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults ./internal/guard \
+	./internal/core ./internal/endhost ./internal/inband
+
+# Packages that handle pooled packets; the poollife ownership analyzer
+# (use-after-Recycle, double-Recycle, retain-without-Adopt,
+# recycle-after-shallow-copy) gates them.
+POOL_PKGS = ./internal/core ./internal/netsim ./internal/asic ./internal/endhost ./internal/inband
+
+# Packages with //alloc:free hot-path annotations; the escape gate
+# pins them against ALLOCGATE.json.
+ALLOC_PKGS = ./internal/core ./internal/tcpu ./internal/netsim ./internal/asic ./internal/endhost
 
 all: check
 
@@ -19,10 +29,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs vet plus the repository's own determinism analyzers (see
-# tools/analyzers) over the simulation core.
+# lint runs vet plus the repository's own analyzers (see
+# tools/analyzers): the determinism suite over the simulation core and
+# the poollife packet-ownership suite over the packages that handle
+# pooled packets.
 lint: vet
 	$(GO) run ./tools/analyzers/cmd/determinismlint $(LINT_PKGS)
+	$(GO) run ./tools/analyzers/cmd/poollifelint $(POOL_PKGS)
+
+# allocgate asserts that every //alloc:free function still compiles
+# without heap escapes, pinned against the committed ALLOCGATE.json
+# baseline (any drift — regression, improvement, or annotation change —
+# fails until the baseline is consciously regenerated).
+allocgate:
+	$(GO) run ./tools/allocgate $(ALLOC_PKGS)
+
+# allocgate-baseline regenerates ALLOCGATE.json after an audited change
+# to the gated functions; commit the result.
+allocgate-baseline:
+	$(GO) run ./tools/allocgate -write $(ALLOC_PKGS)
 
 # Tests run with -shuffle=on: a deterministic simulation must not care
 # what order its tests execute in, and shuffling catches shared-state
@@ -45,6 +70,13 @@ check: vet build race
 # word.
 soak:
 	$(GO) test -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
+
+# soak-pooldebug reruns the same scenarios with the packet-pool
+# sanitizer compiled in (Recycle poisons buffers and bumps slot
+# generations; stale references and clobbered canaries panic at the
+# offending call site) under the race detector.
+soak-pooldebug:
+	$(GO) test -race -tags pooldebug -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
 
 # fuzz smoke-tests the three soundness properties: verified programs
 # never trip a dynamic fault, guest programs never escape their tenant

@@ -125,6 +125,8 @@ func (p *Port) EnqBytes() uint64 {
 
 // enqueue commits a packet to egress queue qid, then kicks the
 // scheduler.  It returns false when the queue dropped the packet.
+//
+//alloc:free
 func (p *Port) enqueue(pkt *core.Packet, qid int) bool {
 	if qid < 0 || qid >= len(p.queues) {
 		qid = 0
@@ -145,6 +147,8 @@ func (p *Port) enqueue(pkt *core.Packet, qid int) bool {
 
 // kick starts a transmission if the channel is idle and a packet is
 // waiting.  The scheduler is strict priority: queue 0 first.
+//
+//alloc:free
 func (p *Port) kick() {
 	if p.ch == nil || p.ch.Busy() {
 		return
@@ -165,6 +169,8 @@ func (p *Port) kick() {
 }
 
 // tick advances the port's rate meters by one statistics window.
+//
+//alloc:free
 func (p *Port) tick() {
 	p.rxUtil.Tick()
 	p.txUtil.Tick()

@@ -50,6 +50,8 @@ func (q *Queue) Len() int { return len(q.pkts) - q.head }
 
 // Enqueue appends the packet if it fits; otherwise the packet is
 // dropped (drop-tail) and false is returned.
+//
+//alloc:free
 func (q *Queue) Enqueue(p *core.Packet) bool {
 	n := p.WireLen()
 	if q.bytes+n > q.capBytes {
@@ -69,6 +71,8 @@ func (q *Queue) Enqueue(p *core.Packet) bool {
 // the egress.  each (optional) visits every discarded packet, letting
 // the switch record a span per loss so telemetry reconciles exactly
 // with the counters.  It returns the number of packets discarded.
+//
+//alloc:free
 func (q *Queue) Flush(each func(*core.Packet)) int {
 	n := q.Len()
 	for i := q.head; i < len(q.pkts); i++ {
@@ -90,6 +94,8 @@ func (q *Queue) Flush(each func(*core.Packet)) int {
 }
 
 // Dequeue removes and returns the head packet, or nil when empty.
+//
+//alloc:free
 func (q *Queue) Dequeue() *core.Packet {
 	if q.head == len(q.pkts) {
 		return nil

@@ -227,9 +227,9 @@ type switchMetrics struct {
 	blackholes    *obs.Counter
 	reboots       *obs.Counter
 	rebootDrops   *obs.Counter
-	cstores       *obs.Counter // CSTORE commits
-	spinEdges     *obs.Counter // spin-bit transitions observed
-	spinSamples   *obs.Counter // spin intervals bucketed into SRAM
+	cstores       *obs.Counter   // CSTORE commits
+	spinEdges     *obs.Counter   // spin-bit transitions observed
+	spinSamples   *obs.Counter   // spin intervals bucketed into SRAM
 	tcpuCycles    *obs.Histogram // modeled cycles per TPP execution
 	hopLatency    *obs.Histogram // ns from parser to scheduler dequeue
 }
@@ -315,6 +315,8 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 // span records one lifecycle event for pkt at the current simulated
 // time.  It compiles to nothing observable when tracing is disabled:
 // the tracer is nil and Record returns immediately.
+//
+//alloc:free
 func (s *Switch) span(pkt *core.Packet, stage obs.Stage, a, b uint64) {
 	s.tracer.Record(obs.SpanEvent{
 		At: int64(s.sim.Now()), UID: pkt.Meta.UID, Node: s.cfg.ID,
@@ -480,6 +482,8 @@ func (s *Switch) Reboot(bootDelay netsim.Time) {
 }
 
 // dropRebooted counts and records one packet eaten by a crash-restart.
+//
+//alloc:free
 func (s *Switch) dropRebooted(pkt *core.Packet, port int) {
 	s.rebootDrops++
 	s.m.rebootDrops.Inc()
@@ -497,6 +501,8 @@ func (s *Switch) housekeeping() {
 // Receive implements netsim.Receiver: the packet's last bit arrived on
 // port.  The fixed pipeline latency covers the parser and lookup
 // stages; forwarding happens after it elapses.
+//
+//alloc:free
 func (s *Switch) Receive(pkt *core.Packet, port int) {
 	// A switch mid-boot is electrically absent: frames arriving during
 	// the boot delay vanish without any further processing.
@@ -551,6 +557,8 @@ func (s *Switch) Receive(pkt *core.Packet, port int) {
 // DeliverAt implements netsim.PacketDelivery: the parse/lookup pipeline
 // latency elapsed.  arg carries the ingress port in the low word and
 // the boot epoch captured at arrival in the high word.
+//
+//alloc:free
 func (s *Switch) DeliverAt(pkt *core.Packet, arg uint64) {
 	port := int(uint32(arg))
 	if s.booting || s.epoch != uint32(arg>>32) {
@@ -561,23 +569,31 @@ func (s *Switch) DeliverAt(pkt *core.Packet, arg uint64) {
 }
 
 // stripTPP removes the TPP section, leaving the encapsulated payload as
-// an ordinary frame; a bare TPP with no payload vanishes entirely.  The
-// copy aliases the original's IP/UDP/payload buffers, so the original
-// must be abandoned, never recycled — Adopt severs the copy from the
-// pool regardless of the original's provenance.
+// an ordinary frame; a bare TPP with no payload vanishes entirely.
+// Stripping is a death point for the incoming packet: the survivor is a
+// fresh pooled clone without the TPP, and the original is recycled (a
+// no-op for host-owned packets, which the sender may still hold).  The
+// earlier shallow-copy implementation heap-allocated per strip and
+// abandoned the original's pool slot; cloning through the pool keeps
+// the strip path allocation-free and leak-free.
+//
+//alloc:free
 func stripTPP(pkt *core.Packet) *core.Packet {
 	if pkt.IP == nil {
+		pkt.Recycle()
 		return nil
 	}
-	out := *pkt
+	out := pkt.ClonePooled()
 	out.TPP = nil
 	out.Eth.Type = core.EtherTypeIPv4
-	out.Adopt()
-	return &out
+	pkt.Recycle()
+	return out
 }
 
 // forward runs the lookup pipeline and commits the packet to its
 // egress queue(s).
+//
+//alloc:free
 func (s *Switch) forward(pkt *core.Packet, inPort int) {
 	s.packets++
 	s.m.packets.Inc()
@@ -614,6 +630,7 @@ func (s *Switch) forward(pkt *core.Packet, inPort int) {
 	s.forwardL2(pkt, inPort)
 }
 
+//alloc:free
 func (s *Switch) lookupTCAM(pkt *core.Packet, inPort int) (out int, e tcam.Entry, decided bool) {
 	if s.tcam.Size() == 0 || pkt.IP == nil {
 		return 0, tcam.Entry{}, false
@@ -637,6 +654,7 @@ func (s *Switch) lookupTCAM(pkt *core.Packet, inPort int) (out int, e tcam.Entry
 	return e.Action.OutPort, e, true
 }
 
+//alloc:free
 func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 	now := int64(s.sim.Now())
 	s.l2.Learn(pkt.Eth.Src, inPort, now)
@@ -679,6 +697,8 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 
 // deliver finalizes metadata, runs the TCPU, and enqueues the packet on
 // its egress port.
+//
+//alloc:free
 func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 	if outPort < 0 || outPort >= len(s.ports) || !s.ports[outPort].Wired() {
 		s.blackholes++
@@ -738,6 +758,8 @@ func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
 // everything.  With the tenant guard on, the aggregate rate is split
 // into per-tenant buckets by weighted share, so a flooding tenant
 // drains only its own quota; without it, every TPP shares one bucket.
+//
+//alloc:free
 func (s *Switch) admitTPP(id guard.TenantID) bool {
 	if s.cfg.TPPRate <= 0 {
 		return true
@@ -770,6 +792,8 @@ func (s *Switch) admitTPP(id guard.TenantID) bool {
 // program runs in compiled form: a program the trusted edge already
 // compiled is executed directly when its baked config matches this
 // device, and everything else goes through the ingress program cache.
+//
+//alloc:free
 func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
 	s.execView = view{sw: s, pkt: pkt, port: s.ports[outPort]}
 	var v interface {
@@ -807,6 +831,8 @@ func (s *Switch) execTPP(pkt *core.Packet, outPort int) {
 // the trusted edge attached when its baked device config matches this
 // switch, otherwise this switch's own ingress cache.  A nil return
 // means the interpreter must run (program too long to cache).
+//
+//alloc:free
 func (s *Switch) compiledFor(t *core.TPP) *tcpu.Program {
 	if p, ok := t.Compiled.(*tcpu.Program); ok && p != nil &&
 		p.Matches(s.cfg.TCPU) && p.MatchesTPP(t) {
@@ -821,6 +847,8 @@ func (s *Switch) ProgCacheStats() (hits, misses uint64) { return s.progCache.Sta
 
 // classify selects the egress queue: the top three TOS bits, clamped to
 // the configured queue count (everything defaults to queue 0).
+//
+//alloc:free
 func (s *Switch) classify(pkt *core.Packet) uint32 {
 	if pkt.IP == nil || s.cfg.QueuesPerPort == 1 {
 		return 0

@@ -43,6 +43,14 @@ type Packet struct {
 	// set only by ClonePooled, cleared by Recycle and Adopt.  A shallow
 	// struct copy inherits the flag, so copies must Adopt themselves.
 	pooled bool
+	// block points back to the pool slot a ClonePooled copy was drawn
+	// from (nil for heap-owned packets); Recycle uses it to return the
+	// whole co-allocated block and to tell the resident packet apart
+	// from a shallow copy.
+	block *pooledBlock
+	// dbg is the pooldebug sanitizer state: zero-sized in release
+	// builds, a slot-generation pin under -tags pooldebug (pool_debug.go).
+	dbg poolDebug
 }
 
 // udpPacketBlock co-allocates a packet with its IP and UDP headers.
@@ -70,7 +78,10 @@ func (p *Packet) PayloadLen() int { return len(p.Payload) + p.PadLen }
 
 // WireLen returns the total frame size in bytes as it would appear on
 // the wire; links charge serialization time for this many bytes.
+//
+//alloc:free
 func (p *Packet) WireLen() int {
+	p.checkLive("WireLen")
 	n := EthernetHeaderLen
 	if p.TPP != nil {
 		n += p.TPP.WireLen()
@@ -87,8 +98,12 @@ func (p *Packet) WireLen() int {
 // Clone deep-copies the packet, including its TPP and payload, so that a
 // flooded or mirrored copy executes and mutates independently.
 func (p *Packet) Clone() *Packet {
+	p.checkLive("Clone")
 	c := *p
-	c.pooled = false // the copy is heap-owned regardless of p's provenance
+	// The copy is heap-owned regardless of p's provenance: it shares no
+	// buffers with p's pool slot, so it must not inherit the back
+	// pointer (or the sanitizer's generation pin) either.
+	c.pooled, c.block, c.dbg = false, nil, poolDebug{}
 	if p.TPP != nil {
 		c.TPP = p.TPP.Clone()
 	}
@@ -109,6 +124,7 @@ func (p *Packet) Clone() *Packet {
 // are emitted outermost first (the inverse of Decode); zero Length
 // fields in IP and UDP headers are filled from the actual sizes.
 func (p *Packet) Serialize() []byte {
+	p.checkLive("Serialize")
 	b := make([]byte, 0, p.WireLen())
 	b = p.Eth.AppendTo(b)
 	if p.TPP != nil {

@@ -12,57 +12,75 @@ import "sync"
 // packets with Adopt, after which the packet behaves exactly like a
 // freshly allocated one and is never returned to the pool.
 //
-// Safety rules, enforced by convention and the queue-conservation
-// tests:
+// Safety rules, enforced by the poollife analyzer (tools/analyzers)
+// statically and by the pooldebug build tag dynamically:
 //   - Only the fabric recycles, and only at a death point: a recycled
-//     packet must have no other referents.
+//     packet must have no other referents, and nothing may touch a
+//     packet after recycling it.
 //   - Recycle on a non-pooled packet is a no-op, so callers never need
 //     to know a packet's provenance to drop it.
+//   - A pooled packet stored into anything that outlives the current
+//     event (a field, map, slice, channel, captured closure) must be
+//     adopted first, or it may be recycled under the referent.
 //   - A shallow copy of a pooled packet (e.g. stripping its TPP)
 //     aliases the original's buffers; the original must then be
 //     abandoned to the garbage collector, never recycled.
 
-var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+// pooledBlock co-allocates a pooled packet with its optional layer
+// headers, the same single-block layout udpPacketBlock uses for
+// sender-side construction.  The block — not the packet — is what the
+// pool stores: the layer structs and their buffers stay attached to
+// the slot even while an incarnation of the packet carries fewer
+// layers, so a slot never re-allocates a header it once had.  (The
+// previous per-layer lazy allocation showed up as three amortized
+// escape sites inside ClonePooled; see tools/allocgate.)
+type pooledBlock struct {
+	pkt Packet
+	tpp TPP
+	ip  IPv4
+	udp UDP
+
+	dbg blockDebug // pooldebug state; zero-sized in release builds
+}
+
+var packetPool = sync.Pool{New: func() any { return new(pooledBlock) }}
 
 // ClonePooled deep-copies the packet like Clone, but draws the copy
 // and its buffers from the packet pool.  The copy must eventually be
 // passed to Recycle (fabric drop) or Adopt (delivery to an end-host).
+//
+//alloc:free
 func (p *Packet) ClonePooled() *Packet {
-	c := packetPool.Get().(*Packet)
-	// Keep the recycled packet's sub-structures so their buffer
-	// capacity is reused by the copy below.
-	tpp, ip, udp, payload := c.TPP, c.IP, c.UDP, c.Payload
+	p.checkLive("ClonePooled")
+	b := packetPool.Get().(*pooledBlock)
+	b.checkCanary()
+	c := &b.pkt
+	// Keep the slot's buffers so their capacity is reused by the copy
+	// below, whichever layers this incarnation carries.
+	ins, mem, opts, payload := b.tpp.Ins, b.tpp.Mem, b.ip.Options, c.Payload
 	*c = *p
 	c.pooled = true
+	c.block = b
 	c.Payload = append(payload[:0], p.Payload...)
 	if p.TPP != nil {
-		if tpp == nil {
-			tpp = &TPP{}
-		}
-		ins, mem := tpp.Ins, tpp.Mem
-		*tpp = *p.TPP
-		tpp.Ins = append(ins[:0], p.TPP.Ins...)
-		tpp.Mem = append(mem[:0], p.TPP.Mem...)
-		c.TPP = tpp
+		t := &b.tpp
+		*t = *p.TPP
+		t.Ins = append(ins[:0], p.TPP.Ins...)
+		t.Mem = append(mem[:0], p.TPP.Mem...)
+		c.TPP = t
 	}
 	if p.IP != nil {
-		var opts []byte
-		if ip == nil {
-			ip = &IPv4{}
-		} else {
-			opts = ip.Options
-		}
+		ip := &b.ip
 		*ip = *p.IP
 		ip.Options = append(opts[:0], p.IP.Options...)
 		c.IP = ip
 	}
 	if p.UDP != nil {
-		if udp == nil {
-			udp = &UDP{}
-		}
-		*udp = *p.UDP
-		c.UDP = udp
+		u := &b.udp
+		*u = *p.UDP
+		c.UDP = u
 	}
+	c.markIssued()
 	return c
 }
 
@@ -74,16 +92,30 @@ func (p *Packet) Pooled() bool { return p.pooled }
 // packet will never return to the pool, so the caller may retain it
 // and its buffers indefinitely.  End-hosts adopt every delivered
 // packet.  Adopting a non-pooled packet is a no-op.
-func (p *Packet) Adopt() { p.pooled = false }
+func (p *Packet) Adopt() {
+	p.checkLive("Adopt")
+	p.pooled = false
+}
 
 // Recycle returns a pooled packet to the pool.  The caller must hold
 // the only reference; the packet and its TPP/IP/UDP/Payload buffers
 // are reused by a future ClonePooled.  Recycling a non-pooled packet
 // is a no-op, so drop paths can call it unconditionally.
+//
+//alloc:free
 func (p *Packet) Recycle() {
+	p.checkRecycle()
 	if !p.pooled {
 		return
 	}
 	p.pooled = false
-	packetPool.Put(p)
+	// A shallow struct copy inherits the pooled flag but is not the
+	// block's resident packet; recycling it would hand the pool buffers
+	// the copy still aliases.  Release builds abandon the block to the
+	// garbage collector instead (pooldebug panics in checkRecycle).
+	if p.block == nil || p != &p.block.pkt {
+		return
+	}
+	p.poisonAndRetire()
+	packetPool.Put(p.block)
 }

@@ -1,0 +1,26 @@
+//go:build !pooldebug
+
+package core
+
+// Release builds carry no pool sanitizer state: poolDebug and
+// blockDebug are zero-sized and every hook is an empty method the
+// compiler inlines away, so the pooled hot path pays nothing for the
+// instrumentation points.  Build with -tags pooldebug for the checking
+// implementations (pool_debug.go).
+
+// poolDebugEnabled reports which pool implementation this binary
+// carries; tests use it to pick the expected violation behavior.
+const poolDebugEnabled = false
+
+// poolDebug is the per-packet-copy sanitizer state (empty in release).
+type poolDebug struct{}
+
+// blockDebug is the per-pool-slot sanitizer state (empty in release).
+type blockDebug struct{}
+
+func (p *Packet) checkLive(string) {}
+func (p *Packet) checkRecycle()    {}
+func (p *Packet) markIssued()      {}
+func (p *Packet) poisonAndRetire() {}
+
+func (b *pooledBlock) checkCanary() {}

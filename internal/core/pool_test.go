@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+)
+
+func poolFixture() *Packet {
+	return &Packet{
+		Eth: Ethernet{Type: EtherTypeTPP},
+		TPP: &TPP{
+			Version: 1, Mode: AddrStack, HopLen: 12, Ptr: 4,
+			Ins: []Instruction{{Op: OpLOAD, A: 1, B: 0}, {Op: OpSTORE, A: 2, B: 1}},
+			Mem: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		},
+		IP:      &IPv4{TTL: 64, Proto: ProtoUDP, Src: 1, Dst: 2, Options: []byte{7, 4, 0, 0}},
+		UDP:     &UDP{SrcPort: 9, DstPort: 10},
+		Payload: []byte("cookie"),
+	}
+}
+
+// The pool slot is a single co-allocated block: recycling a clone and
+// drawing again must reuse the same block and the same layer buffers,
+// even when an intermediate incarnation carried fewer layers than the
+// one before it (the slot keeps custody of headers the packet dropped).
+func TestPoolBlockAndBufferReuse(t *testing.T) {
+	src := poolFixture()
+
+	c := src.ClonePooled()
+	if !c.Pooled() {
+		t.Fatal("ClonePooled copy not marked pooled")
+	}
+	if c.block == nil || c != &c.block.pkt {
+		t.Fatal("ClonePooled copy is not its block's resident packet")
+	}
+	block := c.block
+	insPtr := &c.TPP.Ins[0]
+	c.Recycle()
+	if c.Pooled() {
+		t.Fatal("Recycle left the packet marked pooled")
+	}
+
+	// A TPP-less incarnation must not lose the slot's TPP buffers...
+	plain := &Packet{Eth: Ethernet{Type: EtherTypeIPv4}, Payload: []byte("x")}
+	c2 := plain.ClonePooled()
+	if c2.block != block {
+		t.Skip("pool handed back a different slot; reuse not observable this run")
+	}
+	if c2.TPP != nil {
+		t.Fatal("TPP-less clone carries a TPP")
+	}
+	c2.Recycle()
+
+	// ...so a later TPP-carrying incarnation reuses them.
+	c3 := src.ClonePooled()
+	if c3.block != block {
+		t.Skip("pool handed back a different slot; reuse not observable this run")
+	}
+	if &c3.TPP.Ins[0] != insPtr {
+		t.Error("slot did not reuse its instruction buffer across a TPP-less incarnation")
+	}
+	c3.Recycle()
+}
+
+// ClonePooled must deep-copy: mutating the clone's buffers must not be
+// visible through the source, whatever the slot held before.
+func TestPoolCloneIsDeep(t *testing.T) {
+	src := poolFixture()
+	c := src.ClonePooled()
+
+	c.TPP.Ins[0] = Instruction{Op: OpNOP}
+	c.TPP.Mem[0] = 0xff
+	c.IP.Options[0] = 0xff
+	c.Payload[0] = 'X'
+	c.UDP.SrcPort = 4242
+
+	if src.TPP.Ins[0].Op != OpLOAD || src.TPP.Mem[0] != 1 ||
+		src.IP.Options[0] != 7 || src.Payload[0] != 'c' || src.UDP.SrcPort != 9 {
+		t.Fatal("mutating the pooled clone leaked into the source packet")
+	}
+	c.Recycle()
+}
+
+// Recycling a shallow copy is the forbidden aliasing case: release
+// builds must degrade it to abandoning the slot (no panic, and the
+// slot must NOT be handed out again under the copy), mirroring how
+// Recycle on a non-pooled packet is a safe no-op.
+func TestPoolShallowCopyRecycleAbandons(t *testing.T) {
+	if poolDebugEnabled {
+		t.Skip("pooldebug escalates this violation to a panic; see pooldebug_test.go")
+	}
+	src := poolFixture()
+	c := src.ClonePooled()
+	sc := *c // shallow: aliases c's buffers
+	sc.Recycle()
+	if sc.Pooled() {
+		t.Fatal("Recycle left the shallow copy marked pooled")
+	}
+	// The resident packet is still live and untouched.
+	if c.WireLen() != src.WireLen() {
+		t.Fatal("abandoning a shallow copy corrupted the resident packet")
+	}
+}
+
+// Adopt severs the packet from the pool: a later Recycle is a no-op
+// and the adopted packet's buffers stay valid indefinitely.
+func TestPoolAdoptSevers(t *testing.T) {
+	src := poolFixture()
+	c := src.ClonePooled()
+	c.Adopt()
+	if c.Pooled() {
+		t.Fatal("Adopt left the packet marked pooled")
+	}
+	c.Recycle() // must be a no-op
+	if c.Payload[0] != 'c' || c.TPP.Ins[0].Op != OpLOAD {
+		t.Fatal("Recycle after Adopt touched the packet")
+	}
+}
+
+// Clone (the heap variant) of a pooled packet must produce a fully
+// independent packet: no pool back pointer, so recycling the original
+// cannot invalidate the clone.
+func TestPoolHeapCloneIndependent(t *testing.T) {
+	src := poolFixture()
+	c := src.ClonePooled()
+	h := c.Clone()
+	if h.Pooled() || h.block != nil {
+		t.Fatal("heap Clone of a pooled packet kept pool ownership state")
+	}
+	c.Recycle()
+	if h.WireLen() == 0 || h.Payload[0] != 'c' {
+		t.Fatal("heap clone invalidated by recycling its source")
+	}
+}

@@ -58,6 +58,8 @@ func (h *Host) Handle(port uint16, fn Handler) { h.handlers[port] = fn }
 func (h *Host) HandleDefault(fn Handler) { h.fallback = fn }
 
 // Receive implements netsim.Receiver.
+//
+//alloc:free
 func (h *Host) Receive(pkt *core.Packet, port int) {
 	_ = port
 	// Delivery transfers ownership out of the fabric: a flooded copy

@@ -154,6 +154,8 @@ func (c *Channel) SerializationDelay(n int) Time {
 // channel is idle (drive it from OnIdle); calling it while busy panics
 // because it means the owner's queueing is broken.  It returns the time
 // the last bit leaves the transmitter.
+//
+//alloc:free
 func (c *Channel) Send(pkt *core.Packet) Time {
 	if c.Busy() {
 		panic("netsim: Send on busy channel")
@@ -204,6 +206,8 @@ const (
 // DeliverAt implements PacketDelivery: the frame's last bit arrives.
 // A Tracer records through a nil receiver as a no-op, so none of the
 // arrival paths need a nil guard.
+//
+//alloc:free
 func (c *Channel) DeliverAt(pkt *core.Packet, arg uint64) {
 	if arg&argIdle != 0 {
 		c.notifyIdle()

@@ -111,6 +111,8 @@ func (s *Sim) Pending() int { return len(s.keys) }
 
 // At schedules fn to run at absolute time t.  Scheduling in the past
 // panics: it is always a modeling bug.
+//
+//alloc:free
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
@@ -123,6 +125,8 @@ func (s *Sim) At(t Time, fn func()) {
 // AtPacket schedules pd.DeliverAt(pkt, arg) at absolute time t without
 // allocating: channels and switches use it for frame arrivals and
 // pipeline stages instead of capturing the packet in a closure.
+//
+//alloc:free
 func (s *Sim) AtPacket(t Time, pd PacketDelivery, pkt *core.Packet, arg uint64) {
 	if t < s.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", t, s.now))
@@ -137,6 +141,8 @@ func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // alloc returns a free payload slot, growing the slab if none are
 // recycled.
+//
+//alloc:free
 func (s *Sim) alloc() int32 {
 	if n := len(s.free); n > 0 {
 		slot := s.free[n-1]
@@ -147,6 +153,7 @@ func (s *Sim) alloc() int32 {
 	return int32(len(s.slots) - 1)
 }
 
+//alloc:free
 func (s *Sim) push(t Time, slot int32) {
 	s.seq++
 	h := append(s.keys, eventKey{at: t, seq: s.seq, slot: slot})
@@ -166,6 +173,8 @@ func (s *Sim) push(t Time, slot int32) {
 // payload's slot is cleared (releasing the packet/closure references)
 // and recycled before the caller runs the event, so re-entrant
 // scheduling from inside the event sees a consistent queue.
+//
+//alloc:free
 func (s *Sim) pop() (Time, eventPayload) {
 	h := s.keys
 	top := h[0]
@@ -218,6 +227,7 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
+//alloc:free
 func (s *Sim) step() {
 	at, e := s.pop()
 	s.now = at

@@ -166,6 +166,8 @@ func (p *Program) MatchesTPP(t *core.TPP) bool {
 
 // Exec runs the compiled program against view, with semantics
 // identical to Config.Exec on the TPP it was compiled from.
+//
+//alloc:free
 func (p *Program) Exec(t *core.TPP, view mem.View) (r Result) {
 	defer func() {
 		r.Cycles = cyclesFor(&r)
@@ -221,12 +223,15 @@ func (p *Program) Exec(t *core.TPP, view mem.View) (r Result) {
 		case kADD, kSUB, kMAX:
 			ok = stepArith(p, s, t, view, &r, hopBase, s.op)
 		case kBadMode:
+			//alloc:allow fault detail boxes the opcode; faulting programs leave the hot path
 			r.Fault = p.cfg.faultMode(s.op)
 		case kBadOp:
+			//alloc:allow fault detail boxes the opcode; faulting programs leave the hot path
 			r.Fault = p.cfg.faultOpcode(s.op)
 		}
 		if p.cfg.RecordSpans {
 			if r.Spans == nil {
+				//alloc:allow per-instruction spans allocate only under tracing (RecordSpans)
 				r.Spans = make([]InsSpan, 0, p.n)
 			}
 			r.Spans = append(r.Spans, InsSpan{
@@ -247,6 +252,7 @@ func (p *Program) Exec(t *core.TPP, view mem.View) (r Result) {
 	return r
 }
 
+//alloc:free
 func stepLOAD(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBase int) bool {
 	v, err := view.Load(s.a)
 	if err != nil {
@@ -257,6 +263,7 @@ func stepLOAD(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBa
 	return p.cfg.putWord(t, r, hopBase+s.b, v)
 }
 
+//alloc:free
 func stepSTORE(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBase int) bool {
 	v, ok := p.cfg.getWord(t, r, hopBase+s.b)
 	if !ok {
@@ -270,6 +277,7 @@ func stepSTORE(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopB
 	return true
 }
 
+//alloc:free
 func stepPUSH(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result) bool {
 	v, err := view.Load(s.a)
 	if err != nil {
@@ -278,6 +286,7 @@ func stepPUSH(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result) bool 
 	}
 	r.Loads++
 	if int(t.Ptr)+4 > len(t.Mem) {
+		//alloc:allow fault detail boxes the operands; faulting programs leave the hot path
 		r.Fault = p.cfg.faultStackOverflow(t.Ptr, len(t.Mem))
 		return false
 	}
@@ -286,12 +295,15 @@ func stepPUSH(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result) bool 
 	return true
 }
 
+//alloc:free
 func stepPOP(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result) bool {
 	if t.Ptr < 4 {
+		//alloc:allow fault detail boxes the operands; faulting programs leave the hot path
 		r.Fault = p.cfg.faultStackUnderflow(t.Ptr)
 		return false
 	}
 	if int(t.Ptr) > len(t.Mem) {
+		//alloc:allow fault detail boxes the operands; faulting programs leave the hot path
 		r.Fault = p.cfg.faultStackOOB(t.Ptr, len(t.Mem))
 		return false
 	}
@@ -305,6 +317,7 @@ func stepPOP(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result) bool {
 	return true
 }
 
+//alloc:free
 func stepCSTORE(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBase int) bool {
 	base := hopBase + s.b
 	cond, ok := p.cfg.getWord(t, r, base)
@@ -323,6 +336,7 @@ func stepCSTORE(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hop
 	return p.cfg.putWord(t, r, base+2, old)
 }
 
+//alloc:free
 func stepCEXEC(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBase int) bool {
 	base := hopBase + s.b
 	mask, ok := p.cfg.getWord(t, r, base)
@@ -346,6 +360,7 @@ func stepCEXEC(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopB
 	return true
 }
 
+//alloc:free
 func stepArith(p *Program, s *cstep, t *core.TPP, view mem.View, r *Result, hopBase int, op core.Opcode) bool {
 	v, err := view.Load(s.a)
 	if err != nil {

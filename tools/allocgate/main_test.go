@@ -1,0 +1,233 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixture is a small annotated source file: one gated function with a
+// panic call and an allowed line, one gated clean function, and one
+// unannotated function whose escapes must be ignored.
+const fixture = `package fix
+
+import "fmt"
+
+// hot is gated.
+//
+//alloc:free
+func hot(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: negative %d",
+			n))
+	}
+	//alloc:allow amortized scratch growth
+	buf := make([]byte, n)
+	return len(buf) + leak(n)
+}
+
+//alloc:free
+func clean(n int) int { return n * 2 }
+
+// cold is not gated: its escapes are invisible to the gate.
+func cold(n int) *int { return &n }
+`
+
+func writeFixture(t *testing.T) (dir string, file string) {
+	t.Helper()
+	dir = t.TempDir()
+	file = filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(file, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.ToSlash(file)
+}
+
+func TestCollectAnnotations(t *testing.T) {
+	dir, file := writeFixture(t)
+	anns, allowed, err := collectAnnotations([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 2 {
+		t.Fatalf("annotations = %d, want 2: %+v", len(anns), anns)
+	}
+	if anns[0].key != file+":clean" || anns[1].key != file+":hot" {
+		t.Fatalf("keys = %q, %q", anns[0].key, anns[1].key)
+	}
+	hot := anns[1]
+	if len(hot.panicSpans) != 1 {
+		t.Fatalf("panic spans = %v, want one", hot.panicSpans)
+	}
+	// The panic's Sprintf spans two lines; both must be covered.
+	if s := hot.panicSpans[0]; s[1] != s[0]+1 {
+		t.Fatalf("panic span %v does not cover the continuation line", s)
+	}
+	// The allow covers its own line and the next.
+	if len(allowed) != 2 {
+		t.Fatalf("allowed = %v, want the alloc:allow line and its successor", allowed)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	dir, file := writeFixture(t)
+	anns, allowed, err := collectAnnotations([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := anns[1]
+	panicLine := hot.panicSpans[0][1] // Sprintf continuation inside panic
+	var allowLine int
+	for k := range allowed {
+		var f string
+		var l int
+		splitKey(k, &f, &l)
+		if l > allowLine {
+			allowLine = l // the make([]byte, n) line
+		}
+	}
+	out := "" +
+		diag(file, panicLine, "n escapes to heap") + // panic path: exempt
+		diag(file, allowLine, "make([]byte, n) escapes to heap") + // allowed
+		diag(file, hot.start+8, "moved to heap: x") + // real regression
+		diag(file, hot.end+5, "&n escapes to heap") + // outside any gated span
+		diag(file, hot.start+8, "n does not escape") + // not an escape
+		diag(file, hot.start+8, "leaking param: n") // not an allocation
+
+	state := attribute(anns, allowed, out)
+	if got := state[file+":hot"]; len(got) != 1 || got[0] != "moved to heap: x" {
+		t.Fatalf("hot escapes = %v, want only the real regression", got)
+	}
+	if got := state[file+":clean"]; len(got) != 0 {
+		t.Fatalf("clean escapes = %v, want none", got)
+	}
+}
+
+func diag(file string, line int, msg string) string {
+	return file + ":" + itoa(line) + ":1: " + msg + "\n"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func splitKey(k string, file *string, line *int) {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] == ':' {
+			*file = k[:i]
+			n := 0
+			for _, c := range k[i+1:] {
+				n = n*10 + int(c-'0')
+			}
+			*line = n
+			return
+		}
+	}
+}
+
+// The golden round-trip: a written baseline reads back identical, a
+// matching state passes the gate, and every drift direction fails it.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ALLOCGATE.json")
+	state := map[string][]string{
+		"a.go:f": {},
+		"b.go:g": {"moved to heap: x"},
+	}
+	if err := writeBaseline(path, state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := gate(state, got); len(probs) != 0 {
+		t.Fatalf("round-tripped baseline drifted: %v", probs)
+	}
+
+	// A new escape in a gated function fails.
+	worse := map[string][]string{"a.go:f": {"moved to heap: y"}, "b.go:g": {"moved to heap: x"}}
+	if probs := gate(worse, got); len(probs) != 1 {
+		t.Fatalf("regression not caught: %v", probs)
+	}
+	// A fixed escape also fails (forces a conscious baseline refresh).
+	better := map[string][]string{"a.go:f": {}, "b.go:g": {}}
+	if probs := gate(better, got); len(probs) != 1 {
+		t.Fatalf("improvement drift not caught: %v", probs)
+	}
+	// A new annotation fails until the baseline is regenerated.
+	grown := map[string][]string{"a.go:f": {}, "b.go:g": {"moved to heap: x"}, "c.go:h": {}}
+	if probs := gate(grown, got); len(probs) != 1 {
+		t.Fatalf("new annotation drift not caught: %v", probs)
+	}
+	// A removed annotation fails too.
+	shrunk := map[string][]string{"a.go:f": {}}
+	if probs := gate(shrunk, got); len(probs) != 1 {
+		t.Fatalf("removed annotation drift not caught: %v", probs)
+	}
+}
+
+// End to end against the real repository: the committed baseline must
+// match the current tree (this is exactly what CI runs), and every
+// gated function in it must be escape-free — the repo's own
+// acceptance bar.
+func TestRepoBaselineCleanAndCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the repo with -gcflags=-m")
+	}
+	pkgs := []string{
+		"../../internal/core", "../../internal/tcpu", "../../internal/netsim",
+		"../../internal/asic", "../../internal/endhost",
+	}
+	anns, allowed, err := collectAnnotations(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) == 0 {
+		t.Fatal("no //alloc:free annotations found in the repo")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	out, err := buildDiagnostics([]string{
+		"./internal/core", "./internal/tcpu", "./internal/netsim",
+		"./internal/asic", "./internal/endhost",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// collectAnnotations ran from tools/allocgate, so its keys carry
+	// the ../../ prefix; rebuild from the repo root for stable keys.
+	anns, allowed, err = collectAnnotations([]string{
+		"internal/core", "internal/tcpu", "internal/netsim",
+		"internal/asic", "internal/endhost",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := attribute(anns, allowed, out)
+	for key, msgs := range state {
+		if len(msgs) != 0 {
+			t.Errorf("%s: gated function allocates: %v", key, msgs)
+		}
+	}
+	baseline, err := readBaseline("ALLOCGATE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := gate(state, baseline); len(probs) != 0 {
+		t.Errorf("tree drifted from committed baseline: %v", probs)
+	}
+}

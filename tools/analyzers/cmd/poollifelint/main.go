@@ -1,0 +1,39 @@
+// Command poollifelint runs the pooled-packet lifecycle analyzer over
+// package directories and exits non-zero when any finding survives
+// //lint:allow poollife suppression.
+//
+// Usage:
+//
+//	poollifelint DIR...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: poollifelint DIR...")
+		os.Exit(2)
+	}
+	suite := analyzers.PoolLife()
+	bad := false
+	for _, dir := range dirs {
+		findings, err := analyzers.Dir(dir, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

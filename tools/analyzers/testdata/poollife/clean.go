@@ -1,0 +1,81 @@
+package poollife
+
+// Negative cases: the legal lifecycle shapes fabric code actually
+// uses.  None of these may produce a finding.
+
+// The canonical forward path: clone, use, recycle at the death point.
+func cloneForwardRecycle(src *Packet) int {
+	c := src.ClonePooled()
+	n := c.WireLen()
+	c.Recycle()
+	return n
+}
+
+// Early-exit recycle: the recycling branch leaves the function, so the
+// uses after the if are only reachable with a live packet.
+func recycleThenReturn(src *Packet, dead bool) int {
+	c := src.ClonePooled()
+	if dead {
+		c.Recycle()
+		return 0
+	}
+	n := c.WireLen()
+	c.Recycle()
+	return n
+}
+
+// Adopt severs pool ownership; retaining afterwards is the sanctioned
+// way hosts keep delivered packets.
+func adoptThenRetain(q *queue, src *Packet) {
+	p := src.ClonePooled()
+	p.Adopt()
+	q.head = p
+	q.items = append(q.items, p)
+	q.byID[0] = p
+}
+
+// Parameters are not locally proven pooled: the fabric's queues retain
+// packets whose death points they themselves own, and the analyzer
+// must not second-guess that contract across function boundaries.
+func unknownProvenance(q *queue, p *Packet) {
+	q.items = append(q.items, p)
+	q.head = p
+}
+
+// The sanctioned shallow-copy shape: adopt the copy, abandon the
+// original to the GC, never recycle it.
+func shallowAbandon(src *Packet) *Packet {
+	c := src.ClonePooled()
+	sc := *c
+	sc.Adopt()
+	return &sc
+}
+
+// Re-binding a variable to a fresh clone clears its recycled state.
+func rebindAfterRecycle(src *Packet) {
+	c := src.ClonePooled()
+	c.Recycle()
+	c = src.ClonePooled()
+	_ = c.WireLen()
+	c.Recycle()
+}
+
+// A per-iteration clone/recycle pair is clean: the fresh binding at
+// the top of each iteration resets the state.
+func loopCloneRecycle(src *Packet) {
+	for i := 0; i < 4; i++ {
+		c := src.ClonePooled()
+		_ = c.WireLen()
+		c.Recycle()
+	}
+}
+
+// Recycling distinct clones held in distinct variables is clean.
+func twoClones(src *Packet) {
+	a := src.ClonePooled()
+	b := src.ClonePooled()
+	_ = a.WireLen()
+	_ = b.WireLen()
+	a.Recycle()
+	b.Recycle()
+}

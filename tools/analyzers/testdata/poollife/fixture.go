@@ -1,0 +1,24 @@
+// Package poollife is the testdata fixture for the poollife analyzer:
+// a self-contained stand-in for internal/core's pooled Packet and the
+// structures fabric code retains packets in.  The analyzer keys off
+// the ClonePooled/Recycle/Adopt method names on plain identifiers, so
+// the fixture needs no dependency on the real package.
+package poollife
+
+type Packet struct {
+	Len     int
+	Payload []byte
+}
+
+func (p *Packet) ClonePooled() *Packet { return &Packet{Len: p.Len} }
+func (p *Packet) Recycle()             {}
+func (p *Packet) Adopt()               {}
+func (p *Packet) WireLen() int         { return p.Len }
+func (p *Packet) Serialize() []byte    { return p.Payload }
+
+type queue struct {
+	head  *Packet
+	items []*Packet
+	byID  map[int]*Packet
+	ch    chan *Packet
+}
