@@ -5,17 +5,19 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet lint test race check soak soak-pooldebug allocgate allocgate-baseline fuzz bench bench-json bench-save experiments clean
+.PHONY: all build vet lint test race check soak soak-pooldebug scenario allocgate allocgate-baseline fuzz bench bench-json bench-save experiments clean
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
 LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults ./internal/guard \
-	./internal/core ./internal/endhost ./internal/inband
+	./internal/core ./internal/endhost ./internal/inband \
+	./internal/fabric ./internal/fabric/scenario ./internal/fabric/yamlite
 
 # Packages that handle pooled packets; the poollife ownership analyzer
 # (use-after-Recycle, double-Recycle, retain-without-Adopt,
 # recycle-after-shallow-copy) gates them.
-POOL_PKGS = ./internal/core ./internal/netsim ./internal/asic ./internal/endhost ./internal/inband
+POOL_PKGS = ./internal/core ./internal/netsim ./internal/asic ./internal/endhost ./internal/inband \
+	./internal/fabric
 
 # Packages with //alloc:free hot-path annotations; the escape gate
 # pins them against ALLOCGATE.json.
@@ -70,6 +72,17 @@ check: vet build race
 # word.
 soak:
 	$(GO) test -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
+
+# scenario exercises the fabric control plane end to end: the
+# controller/converge/scenario-runner test suites verbosely, the
+# fabricctl CLI tests, the root-package proof that fabric-managed state
+# stays off the packet hot path, and the converge-under-churn
+# experiment (route churn racing crash-restarts, epoch races rolled
+# forward under the retry budget).
+scenario:
+	$(GO) test -v -count=1 ./internal/fabric/... ./cmd/fabricctl
+	$(GO) test -run TestFabricControlPlaneOffHotPath -v -count=1 .
+	$(GO) run ./cmd/experiments converge
 
 # soak-pooldebug reruns the same scenarios with the packet-pool
 # sanitizer compiled in (Recycle poisons buffers and bumps slot

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+
 	"repro/internal/chaos"
 	"repro/internal/trace"
 )
@@ -37,6 +39,29 @@ func runHostile(out *output) error {
 	out.printf("victim tally: %d adds acknowledged, %d abandoned, SRAM word reads %d, poller saw %d negative deltas / %d discontinuities over %d polls\n",
 		res.WriterDone, res.WriterFailures, res.TallyPhysical,
 		res.NegativeDeltas, res.Discontinuities, res.Polls)
+
+	// Isolation is a contract: a breach fails the run, not just the
+	// prose.
+	switch {
+	case !res.Scenario.OK():
+		return fmt.Errorf("scenario not OK: aborted=%q failures=%v",
+			res.Scenario.Aborted, res.Scenario.Failures())
+	case res.Leaked != 0:
+		return fmt.Errorf("queue conservation violated: %d packets unaccounted", res.Leaked)
+	case res.RogueSent == 0:
+		return fmt.Errorf("rogue generator sent nothing")
+	case res.VictimDenied[0]+res.VictimDenied[1] != 0:
+		return fmt.Errorf("%d victim accesses denied; verified programs must never fault",
+			res.VictimDenied[0]+res.VictimDenied[1])
+	case res.RogueDenied[0] != res.Denied[0] || res.RogueDenied[1] != res.Denied[1]:
+		return fmt.Errorf("denials not all the rogue's: rogue %v vs total %v",
+			res.RogueDenied, res.Denied)
+	case uint64(res.TallyPhysical) != res.WriterDone:
+		return fmt.Errorf("tally word %d != %d acknowledged adds",
+			res.TallyPhysical, res.WriterDone)
+	case res.SpansDropped != 0:
+		return fmt.Errorf("tracer dropped %d spans", res.SpansDropped)
+	}
 
 	if f, err := out.csvFile("hostile.csv"); err != nil {
 		return err

@@ -56,6 +56,7 @@ var experiments = []experiment{
 	{"fct", "extension: flow completion time, RCP* vs AIMD", runFCT},
 	{"reboot", "robustness: switch crash-restart chaos soak", runReboot},
 	{"hostile", "robustness: hostile-tenant isolation soak", runHostile},
+	{"converge", "robustness: fabric converge-under-churn vs crash-restarts", runConverge},
 	{"rtthist", "in-band dataplane RTT histogram vs host ground truth", runRTTHist},
 	{"spinbit", "passive spin-bit RTT observer at a mid-path switch", runSpinBit},
 }

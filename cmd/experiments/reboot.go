@@ -41,6 +41,28 @@ func runReboot(out *output) error {
 		res.RebootSpans, res.RebootsMetric, res.RebootDropSpans, res.RebootDropMetric,
 		res.ThrottleSpans, res.ThrottleMetric, res.SpansDropped)
 
+	// The soak is an experiment AND an invariant check: a broken
+	// robustness contract must fail the run (non-zero exit), not just
+	// print odd numbers.
+	switch {
+	case !res.Scenario.OK():
+		return fmt.Errorf("scenario not OK: aborted=%q failures=%v",
+			res.Scenario.Aborted, res.Scenario.Failures())
+	case res.Leaked != 0:
+		return fmt.Errorf("queue conservation violated: %d packets unaccounted", res.Leaked)
+	case res.Reboots != uint64(len(cfg.RebootAt)):
+		return fmt.Errorf("reboots = %d, want %d", res.Reboots, len(cfg.RebootAt))
+	case res.EpochBumps < uint64(len(cfg.RebootAt)):
+		return fmt.Errorf("RCP* detected %d epoch bumps across %d reboots",
+			res.EpochBumps, len(cfg.RebootAt))
+	case res.NegativeDeltas != 0:
+		return fmt.Errorf("accounting reported %d negative deltas", res.NegativeDeltas)
+	case res.Discontinuities == 0:
+		return fmt.Errorf("counter wipes never flagged as discontinuities")
+	case res.SpansDropped != 0:
+		return fmt.Errorf("tracer dropped %d spans", res.SpansDropped)
+	}
+
 	if f, err := out.csvFile("reboot.csv"); err != nil {
 		return err
 	} else if f != nil {

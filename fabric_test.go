@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/fabric"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// TestFabricControlPlaneOffHotPath pins the separation the fabric
+// controller promises: everything it manages — band TCAM routes, guard
+// grants, allocator-backed services — is installed from the control
+// plane, and forwarding through that state costs the data plane
+// nothing.  The send+drain cycle stays at the same <=2 allocation
+// budget as TestTelemetryDisabledNoExtraAllocs (packet construction
+// only), both right after convergence and again after a full Verify +
+// ReadState pass has walked the live device state between bursts.
+func TestFabricControlPlaneOffHotPath(t *testing.T) {
+	sim := netsim.New(1)
+	n := topo.NewNetwork(sim)
+	sw := n.AddSwitch(asic.Config{Ports: 4, Guard: true})
+	h1, h2 := n.AddHost(), n.AddHost()
+	h1.NIC.SetCapacity(1 << 20)
+	n.LinkHost(h1, sw, topo.Mbps(10_000, 0))
+	n.LinkHost(h2, sw, topo.Mbps(10_000, 0))
+	n.PrimeL2(netsim.Millisecond)
+
+	ctl := fabric.New(sim)
+	ctl.Register("edge", sw)
+	spec := fabric.Spec{Devices: []fabric.DeviceSpec{{
+		Device:   "edge",
+		Tenants:  []fabric.Tenant{{ID: 3, Policy: fabric.PolicyDefault, Words: 64, Weight: 10, Burst: 16}},
+		Services: []fabric.Service{{Name: "rcp", Words: 8, Seed: []uint32{1250000}}},
+		Routes: []fabric.Route{
+			{DstIP: h2.IP, Priority: 100, OutPort: n.AttachmentOf(h2).Port},
+		},
+	}}}
+	var res fabric.ConvergeResult
+	ctl.Converge(spec, fabric.ConvergeConfig{}, func(r fabric.ConvergeResult) { res = r })
+	if !res.Converged {
+		t.Fatalf("provision did not converge: %+v", res)
+	}
+
+	measure := func(when string) {
+		t.Helper()
+		allocs := testing.AllocsPerRun(200, func() {
+			h1.Send(h1.NewPacket(h2.MAC, h2.IP, 1, 2, 58))
+			sim.RunUntil(sim.Now() + netsim.Millisecond)
+		})
+		if allocs > 2 {
+			t.Fatalf("%s: %.1f allocs per packet through fabric-managed state, want <= 2 (packet construction only)", when, allocs)
+		}
+	}
+
+	measure("after converge")
+	if h2.Received == 0 {
+		t.Fatal("nothing forwarded through the fabric-managed route")
+	}
+
+	// A control-plane pass between bursts — the field-by-field Verify
+	// read-back plus a full state snapshot — must leave the hot path
+	// untouched.
+	if errs := ctl.Verify(spec); len(errs) > 0 {
+		t.Fatalf("live state off spec between bursts: %v", errs)
+	}
+	if _, derr := ctl.ReadState("edge"); derr != nil {
+		t.Fatalf("ReadState: %v", derr)
+	}
+	measure("after Verify/ReadState")
+}

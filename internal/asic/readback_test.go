@@ -1,0 +1,45 @@
+package asic
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/netsim"
+)
+
+// TestReadWord checks the control-plane read-back hook: it resolves
+// through the same view a TPP's LOAD uses (epoch, table sizes, SRAM),
+// refuses unmapped addresses, and answers nothing while the switch is
+// mid-boot.
+func TestReadWord(t *testing.T) {
+	sim := netsim.New(1)
+	sw := New(sim, Config{ID: 7, Ports: 4})
+
+	if v, ok := sw.ReadWord(mem.SwitchBase + mem.SwitchID); !ok || v != 7 {
+		t.Fatalf("ReadWord(SwitchID) = %d, %v; want 7, true", v, ok)
+	}
+	if v, ok := sw.ReadWord(mem.SwitchBase + mem.SwitchEpoch); !ok || v != sw.Epoch() {
+		t.Fatalf("ReadWord(SwitchEpoch) = %d, %v; want %d, true", v, ok, sw.Epoch())
+	}
+	sw.SetSRAM(5, 0xabcd)
+	if v, ok := sw.ReadWord(mem.SRAMBase + 5); !ok || v != 0xabcd {
+		t.Fatalf("ReadWord(SRAM+5) = %#x, %v; want 0xabcd, true", v, ok)
+	}
+	// Word 11 onward of the switch namespace is unmapped.
+	if _, ok := sw.ReadWord(mem.SwitchBase + 11); ok {
+		t.Fatal("ReadWord answered an unmapped switch word")
+	}
+
+	// A rebooting switch is dark: no read-back until the boot delay
+	// elapses, and the epoch word then reports the bump.
+	sw.Reboot(time(1))
+	if _, ok := sw.ReadWord(mem.SwitchBase + mem.SwitchEpoch); ok {
+		t.Fatal("ReadWord answered during the boot-delay window")
+	}
+	sim.RunUntil(sim.Now() + time(2))
+	if v, ok := sw.ReadWord(mem.SwitchBase + mem.SwitchEpoch); !ok || v != 1 {
+		t.Fatalf("post-boot ReadWord(SwitchEpoch) = %d, %v; want 1, true", v, ok)
+	}
+}
+
+func time(ms int64) netsim.Time { return netsim.Time(ms) * netsim.Millisecond }

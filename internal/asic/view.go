@@ -199,3 +199,26 @@ func (s *Switch) ViewForTesting(pkt *core.Packet, outPort int) mem.View {
 
 // Now exposes the switch's dataplane clock for tests.
 func (s *Switch) Now() netsim.Time { return s.sim.Now() }
+
+// ReadWord is the control plane's read-back path: it reads one word of
+// the unified memory map through the same per-packet view machinery a
+// collect TPP's LOAD resolves through, so a controller verifying its
+// writes observes exactly what the dataplane would report — the epoch
+// word, table sizes, SRAM contents — never a cached copy.  Context-
+// relative Port and Queue addresses resolve against port 0, and packet
+// metadata against a synthetic zero packet.  ok is false for unmapped
+// addresses and while the switch is booting: a switch that is dark to
+// the dataplane answers no read-back either, which is how a controller
+// tells "mid-boot" apart from "epoch raced".
+func (s *Switch) ReadWord(a mem.Addr) (uint32, bool) {
+	if s.booting {
+		return 0, false
+	}
+	pkt := core.Packet{Meta: core.Metadata{EnqueuedAt: int64(s.sim.Now())}}
+	v := view{sw: s, pkt: &pkt, port: s.ports[0]}
+	val, err := v.Load(a)
+	if err != nil {
+		return 0, false
+	}
+	return val, true
+}

@@ -8,23 +8,31 @@
 // probe machinery retries through loss, and dataplane telemetry stays
 // exactly reconciled with switch counters throughout.
 //
+// The soak runs as a fabric scenario: dst-routing arrives as a
+// declarative fabric.Spec the controller converges (and verifies after
+// the crashes), the fault plan and workloads are scenario phases, and
+// the scenario result rides in the soak Result so determinism covers
+// the control plane too.
+//
 // Everything is seeded: the same Config produces the identical Result,
 // which the soak test asserts by running every seed twice.
 package chaos
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/accounting"
 	"repro/internal/asic"
 	"repro/internal/core"
 	"repro/internal/endhost"
+	"repro/internal/fabric"
+	"repro/internal/fabric/scenario"
 	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/rcp"
-	"repro/internal/tcam"
 	"repro/internal/topo"
 )
 
@@ -71,6 +79,11 @@ func Default(seed int64) Config {
 // values so two runs with the same Config can be compared wholesale to
 // prove determinism.
 type Result struct {
+	// Scenario is the control-plane outcome: the provision converge
+	// that programmed the dst-routing spec, the fault plan, and the
+	// end-of-soak verify that the routes survived the crashes.
+	Scenario scenario.Result
+
 	// Conservation audit over every queue of every switch:
 	// EnqPkts == DeqPkts + FlushedPkts + Len() must hold (tail drops
 	// never enter the queue), so Leaked (the sum of the differences)
@@ -115,6 +128,35 @@ type Result struct {
 	SpansDropped uint64
 }
 
+// chaosScenario renders the soak's phase graph.  The fault events vary
+// with Config (the reboot list is variable-length), so the document is
+// generated rather than static.
+func chaosScenario(cfg Config, holeIP uint32) string {
+	var sb strings.Builder
+	sb.WriteString("name: chaos-soak\nphases:\n")
+	sb.WriteString("  - name: provision\n    kind: provision\n    budget: 5\n    backoff: 10ms\n")
+	sb.WriteString("  - name: storm\n    kind: faults\n    needs: [provision]\n    events:\n")
+	fmt.Fprintf(&sb, "      - at: %dns\n        kind: %v\n        target: leaf0-spine1\n"+
+		"        pgoodbad: 0.01\n        pbadgood: 0.1\n        lossgood: 0.005\n        lossbad: 0.5\n",
+		cfg.LossFrom, faults.LinkBurstyLoss)
+	fmt.Fprintf(&sb, "      - at: %dns\n        kind: %v\n        target: leaf0-spine1\n",
+		cfg.LossTo, faults.ClearLoss)
+	fmt.Fprintf(&sb, "      - at: %dns\n        kind: %v\n        target: spine1\n        dstip: %s\n",
+		cfg.HoleFrom, faults.Blackhole, core.IPv4String(holeIP))
+	fmt.Fprintf(&sb, "      - at: %dns\n        kind: %v\n        target: spine1\n        dstip: %s\n",
+		cfg.HoleTo, faults.ClearBlackhole, core.IPv4String(holeIP))
+	for _, at := range cfg.RebootAt {
+		fmt.Fprintf(&sb, "      - at: %dns\n        kind: %v\n        target: spine0\n        bootdelay: %dns\n",
+			at, faults.SwitchReboot, cfg.BootDelay)
+	}
+	sb.WriteString("  - name: work\n    kind: workloads\n    needs: [provision]\n" +
+		"    hooks: [rcp, accounting, stream, sampling]\n")
+	fmt.Fprintf(&sb, "  - name: soak\n    kind: run\n    needs: [work, storm]\n    until: %dns\n",
+		cfg.Duration)
+	sb.WriteString("  - name: check\n    kind: asserts\n    needs: [soak]\n    hooks: [routes-intact]\n")
+	return sb.String()
+}
+
 // Run executes the scenario.
 func Run(cfg Config) Result {
 	if cfg.Duration <= 0 {
@@ -148,10 +190,10 @@ func Run(cfg Config) Result {
 	n.SetTrace(nil)
 
 	edge := topo.Mbps(20, 10*netsim.Microsecond)
-	fabric := topo.Mbps(10, 10*netsim.Microsecond)
+	backbone := topo.Mbps(10, 10*netsim.Microsecond)
 	for _, leaf := range leaves {
 		for _, sp := range spines {
-			n.LinkSwitches(leaf, sp, fabric)
+			n.LinkSwitches(leaf, sp, backbone)
 		}
 	}
 	hosts := make([][]*endhost.Host, leavesN)
@@ -165,47 +207,50 @@ func Run(cfg Config) Result {
 
 	// Deterministic dst-routing (same scheme as the ndb hunt): host j
 	// of any leaf is reached via spine j, so the fabric never depends
-	// on learned L2 state a reboot would wipe.
+	// on learned L2 state a reboot would wipe.  The routes are a
+	// declarative spec the controller converges, not hand inserts.
+	leafRoutes := make([][]fabric.Route, leavesN)
+	spineRoutes := make([][]fabric.Route, spinesN)
 	for li := range hosts {
 		for hj, h := range hosts[li] {
-			v, m := tcam.DstIPRule(h.IP)
-			leaves[li].TCAM().Insert(100, v, m,
-				tcam.Action{OutPort: n.AttachmentOf(h).Port})
+			leafRoutes[li] = append(leafRoutes[li], fabric.Route{
+				DstIP: h.IP, Priority: 100, OutPort: n.AttachmentOf(h).Port})
 			for other := range leaves {
 				if other != li {
-					leaves[other].TCAM().Insert(10, v, m, tcam.Action{OutPort: hj})
+					leafRoutes[other] = append(leafRoutes[other], fabric.Route{
+						DstIP: h.IP, Priority: 10, OutPort: hj})
 				}
 			}
-			for _, sp := range spines {
-				sp.TCAM().Insert(10, v, m, tcam.Action{OutPort: li})
+			for si := range spines {
+				spineRoutes[si] = append(spineRoutes[si], fabric.Route{
+					DstIP: h.IP, Priority: 10, OutPort: li})
 			}
 		}
+	}
+	var spec fabric.Spec
+	fab := fabric.New(sim)
+	for li, sw := range leaves {
+		name := fmt.Sprintf("leaf%d", li)
+		fab.Register(name, sw)
+		spec.Devices = append(spec.Devices, fabric.DeviceSpec{Device: name, Routes: leafRoutes[li]})
+	}
+	for si, sw := range spines {
+		name := fmt.Sprintf("spine%d", si)
+		fab.Register(name, sw)
+		spec.Devices = append(spec.Devices, fabric.DeviceSpec{Device: name, Routes: spineRoutes[si]})
 	}
 	rcp.InitRateRegisters(append(append([]*asic.Switch{}, leaves...), spines...)...)
 
 	// Fault plan: two spine-0 crashes, a bursty-loss window on
 	// leaf0-spine1, and a silent blackhole for the throttle stream's
-	// destination on spine 1.
+	// destination on spine 1.  The events live in the scenario; the
+	// injector just needs the target registry.
 	inj := faults.NewInjector(sim, tracer)
 	inj.RegisterSwitch("spine0", spines[0])
 	inj.RegisterSwitch("spine1", spines[1])
 	inj.RegisterLink("leaf0-spine1",
 		leaves[0].Port(1).Channel(), spines[1].Port(0).Channel())
 	holeIP := hosts[2][1].IP
-	events := []faults.Event{
-		{At: cfg.LossFrom, Kind: faults.LinkBurstyLoss, Target: "leaf0-spine1",
-			PGoodBad: 0.01, PBadGood: 0.1, LossGood: 0.005, LossBad: 0.5},
-		{At: cfg.LossTo, Kind: faults.ClearLoss, Target: "leaf0-spine1"},
-		{At: cfg.HoleFrom, Kind: faults.Blackhole, Target: "spine1", DstIP: holeIP},
-		{At: cfg.HoleTo, Kind: faults.ClearBlackhole, Target: "spine1", DstIP: holeIP},
-	}
-	for _, at := range cfg.RebootAt {
-		events = append(events, faults.Event{At: at, Kind: faults.SwitchReboot,
-			Target: "spine0", BootDelay: cfg.BootDelay})
-	}
-	if err := inj.Schedule(faults.Plan{Seed: cfg.Seed, Events: events}); err != nil {
-		panic(fmt.Sprintf("chaos: bad fault plan: %v", err))
-	}
 
 	// Workload 1: one RCP* flow hosts[0][0] -> hosts[1][0], bottlenecked
 	// on the fabric and riding spine 0 — squarely in the crash zone.
@@ -213,7 +258,6 @@ func Run(cfg Config) Result {
 	ctlProber := endhost.NewProber(hosts[0][0])
 	ctl := rcp.NewStarController(sim, hosts[0][0], ctlProber,
 		hosts[1][0].MAC, hosts[1][0].IP, params)
-	ctl.Start()
 
 	// Workload 2: a shared accounting tally in spine 0's SRAM.  One
 	// writer increments it; a poller tracks deltas and must flag (not
@@ -230,21 +274,6 @@ func Run(cfg Config) Result {
 	poller := accounting.NewCounter(pollProber, hosts[2][0].MAC, hosts[2][0].IP,
 		spines[0].ID(), tallyAddr, accounting.Atomic)
 
-	var res Result
-	sim.Every(20*netsim.Millisecond, 25*netsim.Millisecond, func() {
-		writer.Add(1, nil)
-	})
-	var lastValue uint32
-	sim.Every(60*netsim.Millisecond, 100*netsim.Millisecond, func() {
-		poller.Poll(func(value uint32, delta int64, discont bool) {
-			res.Polls++
-			if delta < 0 {
-				res.NegativeDeltas++
-			}
-			lastValue = value
-		})
-	})
-
 	// Workload 3: a collect-probe stream hosts[0][1] -> hosts[2][1]
 	// that transits the bursty link, the blackholed destination AND the
 	// throttled leaf — the compose-everything stream.
@@ -260,29 +289,81 @@ func Run(cfg Config) Result {
 		}
 		return tpp
 	}
-	sim.Every(10*netsim.Millisecond, 5*netsim.Millisecond, func() {
-		streamProber.ProbeCfg(hosts[2][1].MAC, hosts[2][1].IP, streamProg(), streamCfg,
-			func(e *core.TPP) {
-				if e.Flags&core.FlagThrottled != 0 {
-					res.ThrottledEchoes++
-				} else {
-					res.CleanEchoes++
-				}
-			}, nil)
-	})
 
-	// Sampling: LastRate every 100ms, plus one checkpoint 30 control
-	// intervals after each reboot for the bounded-recovery assertion.
-	sim.Every(100*netsim.Millisecond, 100*netsim.Millisecond, func() {
-		res.RateSamples = append(res.RateSamples, ctl.LastRate)
-	})
+	var res Result
+	var lastValue uint32
 	res.RateAfterReboot = make([]float64, len(cfg.RebootAt))
-	for i, at := range cfg.RebootAt {
-		i := i
-		sim.At(at+30*params.T, func() { res.RateAfterReboot[i] = ctl.LastRate })
-	}
 
-	sim.RunUntil(cfg.Duration)
+	env := &scenario.Env{
+		Sim:        sim,
+		Controller: fab,
+		Injector:   inj,
+		Spec:       spec,
+		Seed:       cfg.Seed,
+		Workloads: map[string]scenario.Hook{
+			"rcp": func(*scenario.Env) error {
+				ctl.Start()
+				return nil
+			},
+			"accounting": func(*scenario.Env) error {
+				sim.Every(20*netsim.Millisecond, 25*netsim.Millisecond, func() {
+					writer.Add(1, nil)
+				})
+				sim.Every(60*netsim.Millisecond, 100*netsim.Millisecond, func() {
+					poller.Poll(func(value uint32, delta int64, discont bool) {
+						res.Polls++
+						if delta < 0 {
+							res.NegativeDeltas++
+						}
+						lastValue = value
+					})
+				})
+				return nil
+			},
+			"stream": func(*scenario.Env) error {
+				sim.Every(10*netsim.Millisecond, 5*netsim.Millisecond, func() {
+					streamProber.ProbeCfg(hosts[2][1].MAC, hosts[2][1].IP, streamProg(), streamCfg,
+						func(e *core.TPP) {
+							if e.Flags&core.FlagThrottled != 0 {
+								res.ThrottledEchoes++
+							} else {
+								res.CleanEchoes++
+							}
+						}, nil)
+				})
+				return nil
+			},
+			// Sampling: LastRate every 100ms, plus one checkpoint 30
+			// control intervals after each reboot for the
+			// bounded-recovery assertion.
+			"sampling": func(*scenario.Env) error {
+				sim.Every(100*netsim.Millisecond, 100*netsim.Millisecond, func() {
+					res.RateSamples = append(res.RateSamples, ctl.LastRate)
+				})
+				for i, at := range cfg.RebootAt {
+					i := i
+					sim.At(at+30*params.T, func() { res.RateAfterReboot[i] = ctl.LastRate })
+				}
+				return nil
+			},
+		},
+		Asserts: map[string]scenario.Hook{
+			// TCAM state survives a crash-restart; after two of them the
+			// live fabric must still verify field-for-field against the
+			// routing spec.
+			"routes-intact": func(e *scenario.Env) error {
+				if errs := e.Controller.Verify(e.Spec); len(errs) > 0 {
+					return fmt.Errorf("%d devices off spec: %v", len(errs), errs)
+				}
+				return nil
+			},
+		},
+	}
+	sc, err := scenario.Parse(chaosScenario(cfg, holeIP), nil)
+	if err != nil {
+		panic(fmt.Sprintf("chaos: bad scenario: %v", err))
+	}
+	res.Scenario = scenario.Run(env, sc)
 	ctl.Stop()
 
 	// Audit.

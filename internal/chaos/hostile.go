@@ -5,7 +5,10 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/asic"
+	"repro/internal/core"
 	"repro/internal/endhost"
+	"repro/internal/fabric"
+	"repro/internal/fabric/scenario"
 	"repro/internal/faults"
 	"repro/internal/guard"
 	"repro/internal/mem"
@@ -63,6 +66,11 @@ func DefaultHostile(seed int64) HostileConfig {
 // two same-seed runs can be compared wholesale.  Per-switch arrays are
 // indexed 0 = the tenants' edge switch, 1 = the far switch.
 type HostileResult struct {
+	// Scenario is the control-plane outcome: the provision converge
+	// that granted the tenant cast on both switches, the flood plan,
+	// and the end-of-soak verify that every grant survived intact.
+	Scenario scenario.Result
+
 	// Flood bookkeeping.
 	RogueSent uint64
 
@@ -106,30 +114,53 @@ type HostileResult struct {
 	SpansDropped uint64
 }
 
-// registerTenants installs the full cast on one switch and returns the
-// tenants' grants keyed for the NIC verifiers.  Registration order is
-// fixed, so both switches carve identical partitions and one static
-// grant describes a program's runtime window on every hop.
-func registerTenants(sw *asic.Switch) map[guard.TenantID]guard.Grant {
-	grants := make(map[guard.TenantID]guard.Grant, 4)
-	for _, reg := range []struct {
-		id     guard.TenantID
-		acl    guard.ACL
-		weight float64
-		burst  int
-	}{
-		{victim1Tenant, guard.ControlACL(), 10, 16},
-		{victim2Tenant, guard.ControlACL(), 10, 16},
-		{acctTenant, guard.DefaultACL(), 10, 32},
-		{rogueTenant, guard.DefaultACL(), 1, 4},
-	} {
-		g, err := sw.GrantTenant(reg.id, reg.acl, 64, reg.weight, reg.burst)
-		if err != nil {
-			panic(fmt.Sprintf("chaos: GrantTenant: %v", err))
-		}
-		grants[reg.id] = g
+// hostileTenants is the per-device tenant cast as spec entries.  The
+// spec canonicalizes by tenant ID, so both switches grant in the same
+// order (1, 2, 3, 9) and carve identical partitions: one static grant
+// describes a program's runtime window on every hop.
+func hostileTenants() []fabric.Tenant {
+	return []fabric.Tenant{
+		{ID: victim1Tenant, Policy: fabric.PolicyControl, Words: 64, Weight: 10, Burst: 16},
+		{ID: victim2Tenant, Policy: fabric.PolicyControl, Words: 64, Weight: 10, Burst: 16},
+		{ID: acctTenant, Policy: fabric.PolicyDefault, Words: 64, Weight: 10, Burst: 32},
+		{ID: rogueTenant, Policy: fabric.PolicyDefault, Words: 64, Weight: 1, Burst: 4},
 	}
-	return grants
+}
+
+// hostileScenario renders the soak's phase graph: provision the tenant
+// grants, arm the flood, start the victim workloads, soak, verify the
+// grants survived.
+func hostileScenario(cfg HostileConfig, dstMAC core.MAC, dstIP uint32) string {
+	return fmt.Sprintf(`name: hostile-soak
+phases:
+  - name: provision
+    kind: provision
+    budget: 5
+    backoff: 10ms
+  - name: flood
+    kind: faults
+    needs: [provision]
+    events:
+      - at: %dns
+        kind: %v
+        target: rogue
+        pps: %g
+        dstmac: %s
+        dstip: %s
+  - name: work
+    kind: workloads
+    needs: [provision]
+    hooks: [seal, rcp, accounting, sampling]
+  - name: soak
+    kind: run
+    needs: [work, flood]
+    until: %dns
+  - name: check
+    kind: asserts
+    needs: [soak]
+    hooks: [grants-intact]
+`, cfg.RogueFrom, faults.RogueTenant, cfg.RoguePPS,
+		dstMAC, core.IPv4String(dstIP), cfg.Duration)
 }
 
 // RunHostile executes the hostile-tenant scenario.
@@ -153,8 +184,8 @@ func RunHostile(cfg HostileConfig) HostileResult {
 	n.SetTrace(nil) // switch spans only; channels stay untraced
 
 	edge := topo.Mbps(40, 10*netsim.Microsecond)
-	fabric := topo.Mbps(20, 10*netsim.Microsecond)
-	n.LinkSwitches(s0, s1, fabric)
+	bottleneck := topo.Mbps(20, 10*netsim.Microsecond)
+	n.LinkSwitches(s0, s1, bottleneck)
 
 	v1, v2 := n.AddHost(), n.AddHost() // victim senders
 	wr, rg := n.AddHost(), n.AddHost() // accounting writer, rogue
@@ -168,44 +199,27 @@ func RunHostile(cfg HostileConfig) HostileResult {
 	}
 	n.PrimeL2(5 * netsim.Millisecond)
 
-	grants := registerTenants(s0)
-	registerTenants(s1)
+	// The tenant cast arrives as a declarative spec the controller
+	// converges during the provision phase — no hand registration.
+	fab := fabric.New(sim)
+	fab.Register("s0", s0)
+	fab.Register("s1", s1)
+	spec := fabric.Spec{Devices: []fabric.DeviceSpec{
+		{Device: "s0", Tenants: hostileTenants()},
+		{Device: "s1", Tenants: hostileTenants()},
+	}}
 	rcp.InitRateRegisters(s0, s1)
-
-	// Seal tenant identities at the trusted edge, and gate every
-	// victim NIC with the grant-aware static verifier: a program that
-	// passes here must never trip the dynamic guard.
-	seal := func(h *endhost.Host, id guard.TenantID) {
-		h.NIC.SetTenant(uint8(id))
-		g := grants[id]
-		h.NIC.SetVerifier(&verify.Config{Grant: &g}, nil)
-	}
-	seal(v1, victim1Tenant)
-	seal(v2, victim2Tenant)
-	seal(wr, acctTenant)
-	seal(pl, acctTenant)
-	// The rogue's edge seals its identity but does not verify — it
-	// models a tenant whose programs reach the fabric unchecked.
-	rg.NIC.SetTenant(uint8(rogueTenant))
 
 	// The hostile flood is a declarative fault-plan event, like a
 	// reboot or a loss window.
 	inj := faults.NewInjector(sim, tracer)
 	inj.RegisterHost("rogue", rg)
-	if err := inj.Schedule(faults.Plan{Seed: cfg.Seed, Events: []faults.Event{
-		{At: cfg.RogueFrom, Kind: faults.RogueTenant, Target: "rogue",
-			PPS: cfg.RoguePPS, DstMAC: rd.MAC, DstIP: rd.IP},
-	}}); err != nil {
-		panic(fmt.Sprintf("chaos: bad hostile plan: %v", err))
-	}
 
 	// Victim workload 1+2: two RCP* flows sharing the bottleneck, so
 	// each must converge to C/2.
 	params := rcp.DefaultParams()
 	ctl1 := rcp.NewStarController(sim, v1, endhost.NewProber(v1), d1.MAC, d1.IP, params)
 	ctl2 := rcp.NewStarController(sim, v2, endhost.NewProber(v2), d2.MAC, d2.IP, params)
-	ctl1.Start()
-	ctl2.Start()
 
 	// Victim workload 3: a shared tally in s1's SRAM (tenant-relative
 	// word 16 of the accounting tenant's partition).  Writer and
@@ -223,37 +237,100 @@ func RunHostile(cfg HostileConfig) HostileResult {
 		s1.ID(), tallyAddr, accounting.Atomic)
 
 	var res HostileResult
+	var lastValue uint32
 	// Stop adding well before the end so every in-flight CSTORE chain
 	// resolves and WriterDone reconciles exactly with the SRAM word.
 	addUntil := cfg.Duration - 500*netsim.Millisecond
-	sim.Every(20*netsim.Millisecond, 25*netsim.Millisecond, func() {
-		if sim.Now() < addUntil {
-			writer.Add(1, func(uint32) { res.WriterDone++ })
-		}
-	})
-	var lastValue uint32
-	sim.Every(60*netsim.Millisecond, 100*netsim.Millisecond, func() {
-		poller.Poll(func(value uint32, delta int64, discont bool) {
-			res.Polls++
-			if delta < 0 {
-				res.NegativeDeltas++
-			}
-			lastValue = value
-		})
-	})
 
-	// Sample both victims' rates every 100ms.
-	sim.Every(100*netsim.Millisecond, 100*netsim.Millisecond, func() {
-		res.V1Samples = append(res.V1Samples, ctl1.LastRate)
-		res.V2Samples = append(res.V2Samples, ctl2.LastRate)
-	})
-
-	sim.RunUntil(cfg.Duration)
+	env := &scenario.Env{
+		Sim:        sim,
+		Controller: fab,
+		Injector:   inj,
+		Spec:       spec,
+		Seed:       cfg.Seed,
+		Workloads: map[string]scenario.Hook{
+			// Seal tenant identities at the trusted edge, and gate every
+			// victim NIC with the grant-aware static verifier: a program
+			// that passes here must never trip the dynamic guard.  The
+			// grants are read back from the switch the provision phase
+			// just programmed, not assumed.
+			"seal": func(*scenario.Env) error {
+				seal := func(h *endhost.Host, id guard.TenantID) error {
+					g, ok := s0.Guard().Lookup(id)
+					if !ok {
+						return fmt.Errorf("tenant %d not provisioned", id)
+					}
+					h.NIC.SetTenant(uint8(id))
+					h.NIC.SetVerifier(&verify.Config{Grant: &g}, nil)
+					return nil
+				}
+				for _, pair := range []struct {
+					h  *endhost.Host
+					id guard.TenantID
+				}{{v1, victim1Tenant}, {v2, victim2Tenant}, {wr, acctTenant}, {pl, acctTenant}} {
+					if err := seal(pair.h, pair.id); err != nil {
+						return err
+					}
+				}
+				// The rogue's edge seals its identity but does not verify
+				// — it models a tenant whose programs reach the fabric
+				// unchecked.
+				rg.NIC.SetTenant(uint8(rogueTenant))
+				return nil
+			},
+			"rcp": func(*scenario.Env) error {
+				ctl1.Start()
+				ctl2.Start()
+				return nil
+			},
+			"accounting": func(*scenario.Env) error {
+				sim.Every(20*netsim.Millisecond, 25*netsim.Millisecond, func() {
+					if sim.Now() < addUntil {
+						writer.Add(1, func(uint32) { res.WriterDone++ })
+					}
+				})
+				sim.Every(60*netsim.Millisecond, 100*netsim.Millisecond, func() {
+					poller.Poll(func(value uint32, delta int64, discont bool) {
+						res.Polls++
+						if delta < 0 {
+							res.NegativeDeltas++
+						}
+						lastValue = value
+					})
+				})
+				return nil
+			},
+			// Sample both victims' rates every 100ms.
+			"sampling": func(*scenario.Env) error {
+				sim.Every(100*netsim.Millisecond, 100*netsim.Millisecond, func() {
+					res.V1Samples = append(res.V1Samples, ctl1.LastRate)
+					res.V2Samples = append(res.V2Samples, ctl2.LastRate)
+				})
+				return nil
+			},
+		},
+		Asserts: map[string]scenario.Hook{
+			// After five seconds of forged-write flood, every grant must
+			// still verify field-for-field: the rogue never perturbed
+			// the control plane.
+			"grants-intact": func(e *scenario.Env) error {
+				if errs := e.Controller.Verify(e.Spec); len(errs) > 0 {
+					return fmt.Errorf("%d devices off spec: %v", len(errs), errs)
+				}
+				return nil
+			},
+		},
+	}
+	sc, err := scenario.Parse(hostileScenario(cfg, rd.MAC, rd.IP), nil)
+	if err != nil {
+		panic(fmt.Sprintf("chaos: bad scenario: %v", err))
+	}
+	res.Scenario = scenario.Run(env, sc)
 	ctl1.Stop()
 	ctl2.Stop()
 
 	// Harvest.
-	res.FairShare = float64(fabric.RateBps) / 8 / 2
+	res.FairShare = float64(bottleneck.RateBps) / 8 / 2
 	mean := func(samples []float64, from int) float64 {
 		if from >= len(samples) {
 			return 0

@@ -27,6 +27,21 @@ func TestHostileSoak(t *testing.T) {
 func checkHostile(t *testing.T, res HostileResult) {
 	t.Helper()
 
+	// 0. The control plane held: the tenant cast converged in one
+	// attempt (4 grants on each of 2 switches = 8 ops) and every grant
+	// still verified field-for-field after the flood.
+	if !res.Scenario.OK() {
+		t.Fatalf("scenario not OK: aborted=%q failures=%v",
+			res.Scenario.Aborted, res.Scenario.Failures())
+	}
+	prov := res.Scenario.Phases[0]
+	if prov.Kind != "provision" || len(prov.Converges) != 1 {
+		t.Fatalf("first phase = %+v, want one provision converge", prov)
+	}
+	if c := prov.Converges[0]; !c.Converged || c.Attempts != 1 || c.OpsApplied != 8 {
+		t.Errorf("provision converge = %+v, want converged in 1 attempt with 8 ops", c)
+	}
+
 	// Reconciliation is only meaningful if the ring held every span
 	// and no queue lost track of a packet.
 	if res.SpansDropped != 0 {

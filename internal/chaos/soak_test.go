@@ -28,6 +28,22 @@ func TestChaosSoak(t *testing.T) {
 func checkSoak(t *testing.T, cfg Config, res Result) {
 	t.Helper()
 
+	// 0. The control plane held: the routing spec converged in one
+	// attempt (6 routes per leaf + 6 per spine = 30 ops), the fault
+	// plan scheduled, and the end-of-soak verify found the live fabric
+	// still field-for-field on spec after two crash-restarts.
+	if !res.Scenario.OK() {
+		t.Fatalf("scenario not OK: aborted=%q failures=%v",
+			res.Scenario.Aborted, res.Scenario.Failures())
+	}
+	prov := res.Scenario.Phases[0]
+	if prov.Kind != "provision" || len(prov.Converges) != 1 {
+		t.Fatalf("first phase = %+v, want one provision converge", prov)
+	}
+	if c := prov.Converges[0]; !c.Converged || c.Attempts != 1 || c.OpsApplied != 30 {
+		t.Errorf("provision converge = %+v, want converged in 1 attempt with 30 ops", c)
+	}
+
 	// Telemetry reconciliation is only meaningful if the ring held
 	// every span.
 	if res.SpansDropped != 0 {

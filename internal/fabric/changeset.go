@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/guard"
+)
+
+// OpKind orders the mutations inside one device's change: removals
+// first (frees SRAM words and TCAM slots before the adds that may need
+// them), then grants and allocations, then routing.  The numeric order
+// IS the apply order.
+type OpKind uint8
+
+const (
+	OpRevokeTenant OpKind = iota
+	OpFreeService
+	OpRemoveRoute
+	OpRemovePrefix
+	OpGrantTenant
+	OpAllocService
+	OpAddRoute
+	OpUpdateRoute
+	OpAddPrefix
+)
+
+var opKindNames = [...]string{
+	OpRevokeTenant: "revoke-tenant",
+	OpFreeService:  "free-service",
+	OpRemoveRoute:  "remove-route",
+	OpRemovePrefix: "remove-prefix",
+	OpGrantTenant:  "grant-tenant",
+	OpAllocService: "alloc-service",
+	OpAddRoute:     "add-route",
+	OpUpdateRoute:  "update-route",
+	OpAddPrefix:    "add-prefix",
+}
+
+// String names the op kind.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return "unknown"
+}
+
+// Op is one per-switch mutation.  Which payload field is meaningful
+// depends on Kind: Tenant/ACL for tenant ops, Service for service ops,
+// Route (+EntryID for update/remove) for TCAM ops, Prefix for L3 ops.
+type Op struct {
+	Kind    OpKind
+	Tenant  Tenant
+	ACL     guard.ACL
+	Service Service
+	Route   Route
+	Prefix  Prefix
+	// EntryID is the live TCAM entry an update or removal targets,
+	// captured from read-back so the write hits exactly the entry the
+	// diff saw (the versioned-TCAM write discipline).
+	EntryID uint32
+}
+
+// String renders one op in the dry-run's diff notation.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRevokeTenant:
+		return fmt.Sprintf("- tenant %d", o.Tenant.ID)
+	case OpFreeService:
+		return fmt.Sprintf("- service %s", o.Service.Name)
+	case OpRemoveRoute:
+		return fmt.Sprintf("- route dst=%s prio=%d (entry %d)", ipString(o.Route.DstIP), o.Route.Priority, o.EntryID)
+	case OpRemovePrefix:
+		return fmt.Sprintf("- prefix %s/%d", ipString(o.Prefix.Addr), o.Prefix.Len)
+	case OpGrantTenant:
+		return fmt.Sprintf("+ tenant %d policy=%s words=%d weight=%g burst=%d",
+			o.Tenant.ID, policyOf(o.ACL), o.Tenant.Words, o.Tenant.Weight, o.Tenant.Burst)
+	case OpAllocService:
+		return fmt.Sprintf("+ service %s words=%d seed=%d", o.Service.Name, o.Service.Words, len(o.Service.Seed))
+	case OpAddRoute:
+		return fmt.Sprintf("+ route dst=%s prio=%d -> %s", ipString(o.Route.DstIP), o.Route.Priority, o.Route.targetString())
+	case OpUpdateRoute:
+		return fmt.Sprintf("~ route dst=%s prio=%d -> %s (entry %d)",
+			ipString(o.Route.DstIP), o.Route.Priority, o.Route.targetString(), o.EntryID)
+	case OpAddPrefix:
+		return fmt.Sprintf("+ prefix %s/%d -> port %d", ipString(o.Prefix.Addr), o.Prefix.Len, o.Prefix.OutPort)
+	}
+	return "?"
+}
+
+func (r Route) targetString() string {
+	if r.Drop {
+		return "drop"
+	}
+	return fmt.Sprintf("port %d", r.OutPort)
+}
+
+// DeviceChange is one device's ordered mutations plus the epoch the
+// diff read them against.  Apply stamps every write with BaseEpoch: a
+// device whose live epoch moved since the diff is not touched.
+type DeviceChange struct {
+	Device    string
+	BaseEpoch uint32
+	Ops       []Op
+}
+
+// ChangeSet is the full diff output: per-device mutations in device
+// name order.  Devices already at spec carry no DeviceChange.
+type ChangeSet struct {
+	Devices []DeviceChange
+}
+
+// Empty reports the converged fixpoint: nothing to apply.
+func (cs ChangeSet) Empty() bool {
+	for _, d := range cs.Devices {
+		if len(d.Ops) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ops counts the mutations across all devices.
+func (cs ChangeSet) Ops() int {
+	n := 0
+	for _, d := range cs.Devices {
+		n += len(d.Ops)
+	}
+	return n
+}
+
+// String renders the canonical dry-run listing.  The rendering is a
+// pure function of the ChangeSet value, so byte-identical output is the
+// determinism contract the regression suite pins.
+func (cs ChangeSet) String() string {
+	if cs.Empty() {
+		return "changeset: empty (live state matches spec)\n"
+	}
+	var b strings.Builder
+	for _, d := range cs.Devices {
+		if len(d.Ops) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "device %s (base epoch %d)\n", d.Device, d.BaseEpoch)
+		for _, op := range d.Ops {
+			fmt.Fprintf(&b, "  %s\n", op)
+		}
+	}
+	return b.String()
+}

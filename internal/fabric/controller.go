@@ -1,0 +1,533 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asic"
+	"repro/internal/guard"
+	"repro/internal/l3"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/tcam"
+)
+
+// Controller drives registered switches from declarative Specs through
+// the diff → ChangeSet → apply → verify lifecycle.
+type Controller struct {
+	sim     *netsim.Sim
+	devices map[string]*asic.Switch
+	names   []string
+}
+
+// New builds a controller on the simulation clock (used by Converge's
+// retry backoff).
+func New(sim *netsim.Sim) *Controller {
+	return &Controller{sim: sim, devices: make(map[string]*asic.Switch)}
+}
+
+// Register names a switch for spec addressing.  Re-registering a name
+// replaces the mapping.
+func (c *Controller) Register(name string, sw *asic.Switch) {
+	if _, ok := c.devices[name]; !ok {
+		c.names = append(c.names, name)
+		sort.Strings(c.names)
+	}
+	c.devices[name] = sw
+}
+
+// Devices returns the registered device names, sorted.
+func (c *Controller) Devices() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Device returns the registered switch, for scenario hooks that need
+// the hardware handle.
+func (c *Controller) Device(name string) (*asic.Switch, bool) {
+	sw, ok := c.devices[name]
+	return sw, ok
+}
+
+// Diff reads every device the spec names back live and computes the
+// ordered ChangeSet that would move it to spec.  Per-device read
+// failures (dark or unknown devices, spec/device mismatches) come back
+// as typed DeviceErrors alongside the changes for the devices that
+// could be read; the error return is reserved for an invalid spec.
+// Diff writes nothing: it IS the dry run.
+func (c *Controller) Diff(spec Spec) (ChangeSet, []DeviceError, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return ChangeSet{}, nil, err
+	}
+	var cs ChangeSet
+	var errs []DeviceError
+	for _, d := range ns.Devices {
+		st, derr := c.ReadState(d.Device)
+		if derr != nil {
+			errs = append(errs, *derr)
+			continue
+		}
+		ops, derr := diffDevice(d, st)
+		if derr != nil {
+			errs = append(errs, *derr)
+			continue
+		}
+		if len(ops) > 0 {
+			cs.Devices = append(cs.Devices, DeviceChange{
+				Device:    d.Device,
+				BaseEpoch: st.Epoch,
+				Ops:       ops,
+			})
+		}
+	}
+	return cs, errs, nil
+}
+
+// diffDevice computes one device's ops: removals first, then grants and
+// allocations, then routing (the OpKind order).  Both inputs are in
+// canonical sort order, so the output is deterministic.
+func diffDevice(d DeviceSpec, st DeviceState) ([]Op, *DeviceError) {
+	var revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx []Op
+
+	// Tenants: the table has no ownership band to carve, so a spec
+	// claims it only by listing at least one tenant — and then it owns
+	// the whole table.
+	if len(d.Tenants) > 0 {
+		if !st.GuardEnabled {
+			return nil, &DeviceError{Device: d.Device, Kind: ErrSpecInvalid,
+				Detail: fmt.Sprintf("spec lists %d tenants but the device has no guard", len(d.Tenants))}
+		}
+		want := make(map[guard.TenantID]Tenant, len(d.Tenants))
+		for _, t := range d.Tenants {
+			want[t.ID] = t
+		}
+		have := make(map[guard.TenantID]TenantState, len(st.Tenants))
+		for _, t := range st.Tenants {
+			have[t.ID] = t
+		}
+		for _, t := range st.Tenants { // sorted
+			w, ok := want[t.ID]
+			if !ok {
+				revokes = append(revokes, Op{Kind: OpRevokeTenant, Tenant: Tenant{ID: t.ID}})
+				continue
+			}
+			acl, _ := w.acl() // validated by Normalize
+			if acl != t.ACL || w.Words != t.Words || w.Weight != t.Weight || w.Burst != t.Burst {
+				// A grant is immutable in the guard; any drift means
+				// revoke + re-grant (which zeroes the partition, as the
+				// hardware teardown path always does).
+				revokes = append(revokes, Op{Kind: OpRevokeTenant, Tenant: Tenant{ID: t.ID}})
+			}
+		}
+		for _, t := range d.Tenants { // sorted
+			acl, _ := t.acl()
+			if h, ok := have[t.ID]; ok &&
+				acl == h.ACL && t.Words == h.Words && t.Weight == h.Weight && t.Burst == h.Burst {
+				continue
+			}
+			grants = append(grants, Op{Kind: OpGrantTenant, Tenant: t, ACL: acl})
+		}
+	}
+
+	// Services: the "fabric/" task prefix is the ownership mark, so
+	// every prefixed allocation is managed whether or not the spec
+	// lists services.
+	wantSvc := make(map[string]Service, len(d.Services))
+	for _, s := range d.Services {
+		wantSvc[s.Name] = s
+	}
+	haveSvc := make(map[string]ServiceState, len(st.Services))
+	for _, s := range st.Services {
+		haveSvc[s.Name] = s
+	}
+	for _, s := range st.Services { // sorted
+		w, ok := wantSvc[s.Name]
+		if !ok || w.Words != s.Region.Words {
+			frees = append(frees, Op{Kind: OpFreeService, Service: Service{Name: s.Name, Words: s.Region.Words}})
+		}
+	}
+	for _, s := range d.Services { // sorted
+		if h, ok := haveSvc[s.Name]; ok && s.Words == h.Region.Words {
+			// Seed words are an apply-time initial value, not steady
+			// state: once live, workloads own the region's contents.
+			continue
+		}
+		allocs = append(allocs, Op{Kind: OpAllocService, Service: s})
+	}
+
+	// Routes: the controller's TCAM priority band is the ownership
+	// mark; everything inside it is managed.
+	wantRoute := make(map[routeKey]Route, len(d.Routes))
+	for _, r := range d.Routes {
+		wantRoute[routeKey{r.DstIP, r.Priority}] = r
+	}
+	haveRoute := make(map[routeKey]RouteState, len(st.Routes))
+	seenRoute := make(map[routeKey]bool, len(st.Routes))
+	for _, r := range st.Routes { // sorted, lowest EntryID first per key
+		k := routeKey{r.DstIP, r.Priority}
+		if seenRoute[k] {
+			// A duplicate key in the band (e.g. a stale ChangeSet
+			// applied twice): keep the oldest entry, remove the rest.
+			rmRoutes = append(rmRoutes, Op{Kind: OpRemoveRoute, Route: r.Route, EntryID: r.EntryID})
+			continue
+		}
+		seenRoute[k] = true
+		haveRoute[k] = r
+		w, ok := wantRoute[k]
+		if !ok {
+			rmRoutes = append(rmRoutes, Op{Kind: OpRemoveRoute, Route: r.Route, EntryID: r.EntryID})
+		} else if w.OutPort != r.OutPort || w.Drop != r.Drop {
+			updRoutes = append(updRoutes, Op{Kind: OpUpdateRoute, Route: w, EntryID: r.EntryID})
+		}
+	}
+	for _, r := range d.Routes { // sorted
+		if _, ok := haveRoute[routeKey{r.DstIP, r.Priority}]; !ok {
+			addRoutes = append(addRoutes, Op{Kind: OpAddRoute, Route: r})
+		}
+	}
+
+	// Prefixes: like tenants, claimed only by specs listing at least
+	// one entry.
+	if len(d.Prefixes) > 0 {
+		wantPfx := make(map[Prefix]Prefix, len(d.Prefixes))
+		for _, p := range d.Prefixes {
+			wantPfx[Prefix{Addr: p.Addr, Len: p.Len}] = p
+		}
+		havePfx := make(map[Prefix]Prefix, len(st.Prefixes))
+		for _, p := range st.Prefixes {
+			havePfx[Prefix{Addr: p.Addr, Len: p.Len}] = p
+		}
+		for _, p := range st.Prefixes { // sorted
+			if _, ok := wantPfx[Prefix{Addr: p.Addr, Len: p.Len}]; !ok {
+				rmPfx = append(rmPfx, Op{Kind: OpRemovePrefix, Prefix: p})
+			}
+		}
+		for _, p := range d.Prefixes { // sorted
+			if h, ok := havePfx[Prefix{Addr: p.Addr, Len: p.Len}]; ok && h.OutPort == p.OutPort {
+				continue
+			}
+			// l3.Insert is an upsert, so a changed next hop is a plain add.
+			addPfx = append(addPfx, Op{Kind: OpAddPrefix, Prefix: p})
+		}
+	}
+
+	var ops []Op
+	for _, group := range [][]Op{revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx} {
+		ops = append(ops, group...)
+	}
+	return ops, nil
+}
+
+// DeviceReport is one device's apply outcome.
+type DeviceReport struct {
+	Device  string
+	Applied int
+	Err     *DeviceError
+}
+
+// ApplyReport is the per-device outcome of applying a ChangeSet.
+type ApplyReport struct {
+	Devices []DeviceReport
+}
+
+// OpsApplied counts the mutations that landed and verified.
+func (r ApplyReport) OpsApplied() int {
+	n := 0
+	for _, d := range r.Devices {
+		if d.Err == nil {
+			n += d.Applied
+		}
+	}
+	return n
+}
+
+// Errors collects the per-device failures.
+func (r ApplyReport) Errors() []DeviceError {
+	var errs []DeviceError
+	for _, d := range r.Devices {
+		if d.Err != nil {
+			errs = append(errs, *d.Err)
+		}
+	}
+	return errs
+}
+
+// OK reports whether every device applied cleanly.
+func (r ApplyReport) OK() bool { return len(r.Errors()) == 0 }
+
+// Apply executes a ChangeSet, one device at a time, each device
+// all-or-nothing: epoch-checked before any write, snapshotted, applied,
+// epoch-rechecked, then every op verified by read-back.  A failure
+// rolls the device back to its pre-apply snapshot and surfaces as a
+// typed DeviceError; other devices still apply.
+func (c *Controller) Apply(cs ChangeSet) ApplyReport {
+	var rep ApplyReport
+	for _, dc := range cs.Devices {
+		rep.Devices = append(rep.Devices, c.applyDevice(dc))
+	}
+	return rep
+}
+
+func (c *Controller) applyDevice(dc DeviceChange) DeviceReport {
+	rep := DeviceReport{Device: dc.Device}
+	sw, ok := c.devices[dc.Device]
+	if !ok {
+		rep.Err = &DeviceError{Device: dc.Device, Kind: ErrUnknownDevice}
+		return rep
+	}
+
+	// Epoch stamp: the writes below are valid only against the state
+	// the diff read.  A bumped epoch means a crash-restart wiped that
+	// state — don't touch the device; the next converge round re-diffs.
+	epoch, up := sw.ReadWord(mem.SwitchBase + mem.SwitchEpoch)
+	if !up {
+		rep.Err = &DeviceError{Device: dc.Device, Kind: ErrDeviceDark,
+			Detail: "no read-back (mid-boot)"}
+		return rep
+	}
+	if epoch != dc.BaseEpoch {
+		rep.Err = &DeviceError{Device: dc.Device, Kind: ErrEpochRaced,
+			Detail: fmt.Sprintf("base epoch %d, live %d", dc.BaseEpoch, epoch)}
+		return rep
+	}
+
+	// Pre-apply snapshot: config state plus the managed SRAM contents,
+	// so rollback restores service regions byte-for-byte.
+	snap, derr := c.ReadState(dc.Device)
+	if derr != nil {
+		rep.Err = derr
+		return rep
+	}
+	snapWords := make(map[string][]uint32, len(snap.Services))
+	for _, s := range snap.Services {
+		words := make([]uint32, s.Region.Words)
+		base := mem.SRAMIndex(s.Region.Base)
+		for i := range words {
+			words[i] = sw.SRAM(base + i)
+		}
+		snapWords[s.Name] = words
+	}
+
+	fail := func(kind ErrKind, detail string) DeviceReport {
+		rolled := c.rollback(dc.Device, snap, snapWords) == nil
+		rep.Err = &DeviceError{Device: dc.Device, Kind: kind, Detail: detail, RolledBack: rolled}
+		return rep
+	}
+
+	for i, op := range dc.Ops {
+		if err := applyOp(sw, op); err != nil {
+			return fail(ErrWriteFailed, fmt.Sprintf("op %d (%s): %v", i, op, err))
+		}
+		rep.Applied++
+	}
+
+	// The writes are in; make sure the device we wrote is still the
+	// device we diffed.  A reboot mid-apply wiped some of the writes —
+	// don't trust any of them.
+	epoch, up = sw.ReadWord(mem.SwitchBase + mem.SwitchEpoch)
+	if !up {
+		rep.Err = &DeviceError{Device: dc.Device, Kind: ErrDeviceDark,
+			Detail: "went dark mid-apply"}
+		return rep
+	}
+	if epoch != dc.BaseEpoch {
+		rep.Err = &DeviceError{Device: dc.Device, Kind: ErrEpochRaced,
+			Detail: fmt.Sprintf("rebooted mid-apply: base epoch %d, live %d", dc.BaseEpoch, epoch)}
+		return rep
+	}
+
+	for i, op := range dc.Ops {
+		if detail := verifyOp(sw, op); detail != "" {
+			return fail(ErrVerifyFailed, fmt.Sprintf("op %d (%s): %s", i, op, detail))
+		}
+	}
+	return rep
+}
+
+// applyOp lands one mutation on the hardware tables.
+func applyOp(sw *asic.Switch, op Op) error {
+	switch op.Kind {
+	case OpRevokeTenant:
+		return sw.RevokeTenant(op.Tenant.ID)
+	case OpFreeService:
+		return sw.Allocator().Free(taskPrefix + op.Service.Name)
+	case OpRemoveRoute:
+		return sw.TCAM().Remove(op.EntryID)
+	case OpRemovePrefix:
+		if !sw.L3().Remove(op.Prefix.Addr, op.Prefix.Len) {
+			return fmt.Errorf("prefix %s/%d not present", ipString(op.Prefix.Addr), op.Prefix.Len)
+		}
+		return nil
+	case OpGrantTenant:
+		_, err := sw.GrantTenant(op.Tenant.ID, op.ACL, op.Tenant.Words, op.Tenant.Weight, op.Tenant.Burst)
+		return err
+	case OpAllocService:
+		reg, err := sw.Allocator().Alloc(taskPrefix+op.Service.Name, op.Service.Words)
+		if err != nil {
+			return err
+		}
+		base := mem.SRAMIndex(reg.Base)
+		for i, w := range op.Service.Seed {
+			sw.SetSRAM(base+i, w)
+		}
+		return nil
+	case OpAddRoute:
+		v, m := tcam.DstIPRule(op.Route.DstIP)
+		sw.TCAM().Insert(BandBase+op.Route.Priority, v, m, op.Route.action())
+		return nil
+	case OpUpdateRoute:
+		return sw.TCAM().Update(op.EntryID, op.Route.action())
+	case OpAddPrefix:
+		return sw.L3().Insert(op.Prefix.Addr, op.Prefix.Len, l3.Route{OutPort: op.Prefix.OutPort})
+	}
+	return fmt.Errorf("unknown op kind %d", op.Kind)
+}
+
+// verifyOp re-reads one op's effect and compares field-by-field;
+// returns "" when the read-back matches what was written.
+func verifyOp(sw *asic.Switch, op Op) string {
+	switch op.Kind {
+	case OpRevokeTenant:
+		if _, ok := sw.Guard().Lookup(op.Tenant.ID); ok {
+			return fmt.Sprintf("tenant %d still granted", op.Tenant.ID)
+		}
+	case OpGrantTenant:
+		g, ok := sw.Guard().Lookup(op.Tenant.ID)
+		if !ok {
+			return fmt.Sprintf("tenant %d not granted", op.Tenant.ID)
+		}
+		switch {
+		case g.ACL != op.ACL:
+			return verifyDetail(fmt.Sprintf("tenant %d acl", op.Tenant.ID), op.ACL, g.ACL)
+		case g.Partition.Words != op.Tenant.Words:
+			return verifyDetail(fmt.Sprintf("tenant %d words", op.Tenant.ID), op.Tenant.Words, g.Partition.Words)
+		case g.Weight != op.Tenant.Weight:
+			return verifyDetail(fmt.Sprintf("tenant %d weight", op.Tenant.ID), op.Tenant.Weight, g.Weight)
+		case g.Burst != op.Tenant.Burst:
+			return verifyDetail(fmt.Sprintf("tenant %d burst", op.Tenant.ID), op.Tenant.Burst, g.Burst)
+		}
+	case OpFreeService:
+		if _, ok := sw.Allocator().Lookup(taskPrefix + op.Service.Name); ok {
+			return fmt.Sprintf("service %s still allocated", op.Service.Name)
+		}
+	case OpAllocService:
+		reg, ok := sw.Allocator().Lookup(taskPrefix + op.Service.Name)
+		if !ok {
+			return fmt.Sprintf("service %s not allocated", op.Service.Name)
+		}
+		if reg.Words != op.Service.Words {
+			return verifyDetail(fmt.Sprintf("service %s words", op.Service.Name), op.Service.Words, reg.Words)
+		}
+		// Seed words read back through the dataplane path a collect
+		// TPP's LOAD would take.
+		for i, want := range op.Service.Seed {
+			got, up := sw.ReadWord(reg.Base + mem.Addr(i))
+			if !up || got != want {
+				return verifyDetail(fmt.Sprintf("service %s word %d", op.Service.Name, i), want, got)
+			}
+		}
+	case OpAddRoute:
+		if detail := verifyRoute(sw, op.Route); detail != "" {
+			return detail
+		}
+	case OpUpdateRoute:
+		e, ok := sw.TCAM().Get(op.EntryID)
+		if !ok {
+			return fmt.Sprintf("entry %d vanished", op.EntryID)
+		}
+		if e.Action != op.Route.action() {
+			return verifyDetail(fmt.Sprintf("route %s prio %d action", ipString(op.Route.DstIP), op.Route.Priority),
+				op.Route.action(), e.Action)
+		}
+	case OpRemoveRoute:
+		if _, ok := sw.TCAM().Get(op.EntryID); ok {
+			return fmt.Sprintf("entry %d still present", op.EntryID)
+		}
+	case OpAddPrefix:
+		for _, pr := range sw.L3().Routes() {
+			if pr.Prefix == op.Prefix.Addr && pr.Len == op.Prefix.Len {
+				if pr.Route.OutPort != op.Prefix.OutPort {
+					return verifyDetail(fmt.Sprintf("prefix %s/%d port", ipString(op.Prefix.Addr), op.Prefix.Len),
+						op.Prefix.OutPort, pr.Route.OutPort)
+				}
+				return ""
+			}
+		}
+		return fmt.Sprintf("prefix %s/%d not present", ipString(op.Prefix.Addr), op.Prefix.Len)
+	case OpRemovePrefix:
+		for _, pr := range sw.L3().Routes() {
+			if pr.Prefix == op.Prefix.Addr && pr.Len == op.Prefix.Len {
+				return fmt.Sprintf("prefix %s/%d still present", ipString(op.Prefix.Addr), op.Prefix.Len)
+			}
+		}
+	}
+	return ""
+}
+
+// verifyRoute finds the live band entry for r and checks its action.
+func verifyRoute(sw *asic.Switch, r Route) string {
+	want := BandBase + r.Priority
+	for _, e := range sw.TCAM().Entries() {
+		if e.Priority == want && e.Value[tcam.KeyDstIP] == r.DstIP && e.Mask[tcam.KeyDstIP] == tcam.ExactMask {
+			if e.Action != r.action() {
+				return verifyDetail(fmt.Sprintf("route %s prio %d action", ipString(r.DstIP), r.Priority),
+					r.action(), e.Action)
+			}
+			return ""
+		}
+	}
+	return fmt.Sprintf("route %s prio %d not present", ipString(r.DstIP), r.Priority)
+}
+
+// rollback restores device dev to its pre-apply snapshot: re-diff the
+// snapshot-as-spec against whatever the half-applied state is now,
+// apply the delta, then write the snapshotted service contents back.
+func (c *Controller) rollback(dev string, snap DeviceState, snapWords map[string][]uint32) error {
+	d, err := normalizeDevice(specFromState(snap))
+	if err != nil {
+		return err
+	}
+	st, derr := c.ReadState(dev)
+	if derr != nil {
+		return derr
+	}
+	ops, derr2 := diffDevice(d, st)
+	if derr2 != nil {
+		return derr2
+	}
+	sw := c.devices[dev]
+	for _, op := range ops {
+		if err := applyOp(sw, op); err != nil {
+			return fmt.Errorf("rollback op %s: %w", op, err)
+		}
+	}
+	for _, s := range snap.Services {
+		reg, ok := sw.Allocator().Lookup(taskPrefix + s.Name)
+		if !ok {
+			return fmt.Errorf("rollback: service %s missing", s.Name)
+		}
+		base := mem.SRAMIndex(reg.Base)
+		for i, w := range snapWords[s.Name] {
+			sw.SetSRAM(base+i, w)
+		}
+	}
+	return nil
+}
+
+// Verify re-reads every device the spec names and reports the ones
+// whose live state still differs from spec, field-for-field, as typed
+// errors.  nil means converged.
+func (c *Controller) Verify(spec Spec) []DeviceError {
+	cs, errs, err := c.Diff(spec)
+	if err != nil {
+		return []DeviceError{{Kind: ErrSpecInvalid, Detail: err.Error()}}
+	}
+	for _, dc := range cs.Devices {
+		if len(dc.Ops) == 0 {
+			continue
+		}
+		detail := fmt.Sprintf("%d ops short of spec (first: %s)", len(dc.Ops), dc.Ops[0])
+		errs = append(errs, DeviceError{Device: dc.Device, Kind: ErrVerifyFailed, Detail: detail})
+	}
+	return errs
+}

@@ -1,0 +1,83 @@
+package fabric_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// TestChangeSetDeterminism is the diff's regression contract: the same
+// spec against the same live state serializes to a byte-identical
+// ChangeSet — across repeated dry-runs in one fabric, and across
+// fabrics built under different simulation seeds (the diff is a pure
+// function of spec and read-back state, so the RNG must not leak in).
+func TestChangeSetDeterminism(t *testing.T) {
+	spec := testSpec()
+
+	var refListing string
+	var refCS fabric.ChangeSet
+	for _, seed := range []int64{1, 7, 42} {
+		h := newHarness(seed)
+		cs, errs, err := h.ctl.Diff(spec)
+		if err != nil || len(errs) > 0 {
+			t.Fatalf("seed %d: Diff err=%v errs=%v", seed, err, errs)
+		}
+		// Repeated dry-runs of the same fabric are byte-identical and
+		// write nothing.
+		for run := 0; run < 3; run++ {
+			again, _, _ := h.ctl.Diff(spec)
+			if !reflect.DeepEqual(cs, again) {
+				t.Fatalf("seed %d run %d: ChangeSet drifted:\n%s\nvs\n%s", seed, run, cs, again)
+			}
+			if got := again.String(); got != cs.String() {
+				t.Fatalf("seed %d run %d: listing drifted:\n%s\nvs\n%s", seed, run, cs, got)
+			}
+		}
+		if refListing == "" {
+			refListing, refCS = cs.String(), cs
+			continue
+		}
+		// Across seeds the fabric state is identical, so the diff is too.
+		if got := cs.String(); got != refListing {
+			t.Fatalf("seed %d listing differs:\n%s\nvs\n%s", seed, got, refListing)
+		}
+		if !reflect.DeepEqual(cs, refCS) {
+			t.Fatalf("seed %d ChangeSet differs from seed 1", seed)
+		}
+	}
+}
+
+// TestChangeSetDeterminismAfterApply extends the contract past the
+// first dry-run: after converging and then drifting the live state the
+// same way under every seed, the repair diff is still byte-identical.
+func TestChangeSetDeterminismAfterApply(t *testing.T) {
+	spec := testSpec()
+	drift := func(h *harness) {
+		if err := h.leaf.RevokeTenant(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.leaf.Allocator().Free("fabric/tally"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var ref string
+	for _, seed := range []int64{1, 7, 42} {
+		h := newHarness(seed)
+		mustConverge(t, h, spec)
+		drift(h)
+		cs, errs, err := h.ctl.Diff(spec)
+		if err != nil || len(errs) > 0 {
+			t.Fatalf("seed %d: Diff err=%v errs=%v", seed, err, errs)
+		}
+		if cs.Ops() != 2 {
+			t.Fatalf("seed %d: repair ops = %d, want 2\n%s", seed, cs.Ops(), cs)
+		}
+		if ref == "" {
+			ref = cs.String()
+		} else if got := cs.String(); got != ref {
+			t.Fatalf("seed %d repair listing differs:\n%s\nvs\n%s", seed, got, ref)
+		}
+	}
+}

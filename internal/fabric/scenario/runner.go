@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+// DefaultBound caps how long a converge phase may drive the simulation
+// before the runner gives up waiting.
+const DefaultBound = netsim.Second
+
+// PhaseResult is one phase's outcome.
+type PhaseResult struct {
+	Name string
+	Kind string
+	// Start and End are the simulated times the phase ran across.
+	Start, End netsim.Time
+	// Iterations is how many times the phase body ran (repeat mode).
+	Iterations int
+	// Converges holds one result per converge the phase ran
+	// (provision/churn kinds).
+	Converges []fabric.ConvergeResult
+	// Failures are assert-hook failures; they collect, they never
+	// abort the scenario.
+	Failures []string
+	// Err is a hard error (unknown hook, unschedulable fault plan,
+	// converge that never finished); it aborts the remaining phases.
+	Err string
+}
+
+// Result is a full scenario run.  It is plain values throughout so
+// soak tests can reflect.DeepEqual two runs.
+type Result struct {
+	Name   string
+	Phases []PhaseResult
+	// Aborted names the phase whose hard error stopped the run, empty
+	// when every phase ran.
+	Aborted string
+}
+
+// Failures collects every assert failure across phases.
+func (r Result) Failures() []string {
+	var out []string
+	for _, p := range r.Phases {
+		out = append(out, p.Failures...)
+	}
+	return out
+}
+
+// Converged reports whether every converge in the run reached spec.
+func (r Result) Converged() bool {
+	for _, p := range r.Phases {
+		for _, c := range p.Converges {
+			if !c.Converged {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OK reports a fully clean run: no hard errors, no assert failures,
+// every converge converged.
+func (r Result) OK() bool {
+	if r.Aborted != "" {
+		return false
+	}
+	for _, p := range r.Phases {
+		if p.Err != "" || len(p.Failures) > 0 {
+			return false
+		}
+	}
+	return r.Converged()
+}
+
+// Run executes the scenario's phases in dependency order against env.
+// A phase's hard error aborts the remaining phases (the partial result
+// still reports everything that ran); assert failures and unconverged
+// converges are recorded and the run continues — graceful degradation,
+// never a silent drop.
+func Run(env *Env, sc Scenario) Result {
+	if sc.Spec != nil {
+		env.Spec = *sc.Spec
+	}
+	res := Result{Name: sc.Name}
+	for _, p := range sc.Phases {
+		pr := runPhase(env, p)
+		res.Phases = append(res.Phases, pr)
+		if pr.Err != "" {
+			res.Aborted = p.Name
+			break
+		}
+	}
+	return res
+}
+
+func runPhase(env *Env, p Phase) PhaseResult {
+	pr := PhaseResult{Name: p.Name, Kind: p.Kind, Start: env.Sim.Now()}
+	iters := p.Repeat
+	if iters < 1 {
+		iters = 1
+	}
+	for i := 0; i < iters && pr.Err == ""; i++ {
+		pr.Iterations++
+		runPhaseOnce(env, p, &pr)
+	}
+	pr.End = env.Sim.Now()
+	return pr
+}
+
+func runPhaseOnce(env *Env, p Phase, pr *PhaseResult) {
+	switch p.Kind {
+	case KindProvision:
+		pr.converge(env, p)
+	case KindChurn:
+		for _, name := range p.Hooks {
+			hook, ok := env.Churns[name]
+			if !ok {
+				pr.Err = fmt.Sprintf("unknown churn hook %q", name)
+				return
+			}
+			if err := hook(env); err != nil {
+				pr.Err = fmt.Sprintf("churn hook %q: %v", name, err)
+				return
+			}
+		}
+		pr.converge(env, p)
+	case KindFaults:
+		if err := env.Injector.Schedule(faults.Plan{Seed: env.Seed, Events: p.Events}); err != nil {
+			pr.Err = err.Error()
+		}
+	case KindWorkloads:
+		for _, name := range p.Hooks {
+			hook, ok := env.Workloads[name]
+			if !ok {
+				pr.Err = fmt.Sprintf("unknown workload hook %q", name)
+				return
+			}
+			if err := hook(env); err != nil {
+				pr.Err = fmt.Sprintf("workload hook %q: %v", name, err)
+				return
+			}
+		}
+	case KindRun:
+		if p.Until > env.Sim.Now() {
+			env.Sim.RunUntil(p.Until)
+		}
+	case KindAsserts:
+		for _, name := range p.Hooks {
+			hook, ok := env.Asserts[name]
+			if !ok {
+				pr.Err = fmt.Sprintf("unknown assert hook %q", name)
+				return
+			}
+			if err := hook(env); err != nil {
+				pr.Failures = append(pr.Failures, fmt.Sprintf("%s/%s: %v", p.Name, name, err))
+			}
+		}
+	}
+}
+
+// converge runs one converge of env.Spec under the phase's budget and
+// drives the simulation until it finishes or the bound passes.
+func (pr *PhaseResult) converge(env *Env, p Phase) {
+	cfg := fabric.ConvergeConfig{
+		Budget:     p.Budget,
+		Backoff:    p.Backoff,
+		ApplyDelay: p.ApplyDelay,
+	}
+	bound := p.Bound
+	if bound <= 0 {
+		bound = DefaultBound
+	}
+	deadline := env.Sim.Now() + bound
+	var res fabric.ConvergeResult
+	done := false
+	env.Controller.Converge(env.Spec, cfg, func(r fabric.ConvergeResult) { res, done = r, true })
+	for !done && env.Sim.Now() < deadline {
+		env.Sim.RunUntil(env.Sim.Now() + netsim.Millisecond)
+	}
+	if !done {
+		pr.Err = fmt.Sprintf("converge did not finish within %v", bound)
+		return
+	}
+	pr.Converges = append(pr.Converges, res)
+}

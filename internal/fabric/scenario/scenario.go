@@ -1,0 +1,412 @@
+// Package scenario runs declarative YAML fabric scenarios: provision a
+// spec through the fabric controller, schedule fault plans, start
+// workloads, soak simulated time, assert invariants, and churn the spec
+// under load — with phase dependency ordering and a repeat mode for
+// stress runs.
+//
+// A scenario file:
+//
+//	name: converge-under-churn
+//	spec:
+//	  devices: ...          # fabric.ParseSpec format (optional)
+//	phases:
+//	  - name: provision
+//	    kind: provision     # converge the spec
+//	    budget: 5
+//	    backoff: 10ms
+//	    bound: 1s
+//	  - name: storm
+//	    kind: faults        # schedule a fault plan
+//	    needs: [provision]
+//	    events:
+//	      - at: 3s
+//	        kind: switch-reboot
+//	        target: spine0
+//	        bootdelay: 1ms
+//	  - name: work
+//	    kind: workloads     # start named workload hooks
+//	    needs: [provision]
+//	    hooks: [rcp, accounting]
+//	  - name: soak
+//	    kind: run           # advance simulated time
+//	    needs: [work]
+//	    until: 7s
+//	  - name: check
+//	    kind: asserts       # run named assert hooks; failures collect
+//	    needs: [soak]
+//	    hooks: [delivery]
+//	  - name: reshuffle
+//	    kind: churn         # mutate the spec via hooks, then reconverge
+//	    needs: [check]
+//	    hooks: [shift-routes]
+//	    repeat: 2
+//
+// Hooks are Go functions the harness registers on the Env by name; the
+// YAML orders them.  "$name" tokens anywhere in the document are
+// substituted from Env.Vars before parsing, so one scenario file can be
+// parameterized across seeds and targets.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/fabric/yamlite"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+// Hook is a named harness callback: workloads start things, asserts
+// check things, churns mutate Env.Spec.
+type Hook func(*Env) error
+
+// Env is the world a scenario runs in.  The harness builds topology and
+// registers hooks; the scenario drives them.
+type Env struct {
+	Sim        *netsim.Sim
+	Controller *fabric.Controller
+	Injector   *faults.Injector
+	// Spec is the desired fabric state; a scenario's spec: section
+	// replaces it, and churn hooks mutate it between converges.
+	Spec fabric.Spec
+	// Seed parameterizes fault plans ({Seed: Seed} in every scheduled
+	// plan) so a scenario replays identically per seed.
+	Seed int64
+	// Vars is substituted for "$name" tokens at parse time.
+	Vars map[string]string
+
+	Workloads map[string]Hook
+	Asserts   map[string]Hook
+	Churns    map[string]Hook
+}
+
+// Phase kinds.
+const (
+	KindProvision = "provision"
+	KindFaults    = "faults"
+	KindWorkloads = "workloads"
+	KindRun       = "run"
+	KindAsserts   = "asserts"
+	KindChurn     = "churn"
+)
+
+// Phase is one parsed scenario step.
+type Phase struct {
+	Name   string
+	Kind   string
+	Needs  []string
+	Repeat int
+
+	// provision / churn
+	Budget     int
+	Backoff    netsim.Time
+	ApplyDelay netsim.Time
+	Bound      netsim.Time
+
+	Events []faults.Event // faults
+	Hooks  []string       // workloads / asserts / churn
+	Until  netsim.Time    // run
+}
+
+// Scenario is a parsed scenario document with phases already in
+// dependency order.
+type Scenario struct {
+	Name   string
+	Spec   *fabric.Spec
+	Phases []Phase
+}
+
+// Parse parses a scenario document, substituting "$name" tokens from
+// vars first, validating phase kinds and resolving the dependency
+// order (Kahn's algorithm, preferring declaration order, so the
+// schedule is deterministic).
+func Parse(src string, vars map[string]string) (Scenario, error) {
+	src = substitute(src, vars)
+	root, err := yamlite.Parse(src)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if err := knownKeys(root, "name", "spec", "phases"); err != nil {
+		return Scenario{}, err
+	}
+	sc := Scenario{Name: root.Get("name").Str()}
+	if sn := root.Get("spec"); sn != nil {
+		spec, err := fabric.DecodeSpec(sn)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Spec = &spec
+	}
+	seen := make(map[string]bool)
+	for i, pn := range root.Get("phases").Items() {
+		p, err := decodePhase(pn)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario: phase %d: %w", i, err)
+		}
+		if seen[p.Name] {
+			return Scenario{}, fmt.Errorf("scenario: duplicate phase %q", p.Name)
+		}
+		seen[p.Name] = true
+		sc.Phases = append(sc.Phases, p)
+	}
+	ordered, err := topoOrder(sc.Phases)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc.Phases = ordered
+	return sc, nil
+}
+
+// substitute replaces "$name" tokens, longest names first so "$seed2"
+// never half-matches "$seed".
+func substitute(src string, vars map[string]string) string {
+	if len(vars) == 0 {
+		return src
+	}
+	names := make([]string, 0, len(vars))
+	for name := range vars { //lint:allow maporder (sorted below)
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(names[i]) != len(names[j]) {
+			return len(names[i]) > len(names[j])
+		}
+		return names[i] < names[j]
+	})
+	pairs := make([]string, 0, 2*len(names))
+	for _, name := range names {
+		pairs = append(pairs, "$"+name, vars[name])
+	}
+	return strings.NewReplacer(pairs...).Replace(src)
+}
+
+func decodePhase(n *yamlite.Node) (Phase, error) {
+	if err := knownKeys(n, "name", "kind", "needs", "repeat",
+		"budget", "backoff", "applydelay", "bound", "events", "hooks", "until"); err != nil {
+		return Phase{}, err
+	}
+	p := Phase{Name: n.Get("name").Str(), Kind: n.Get("kind").Str()}
+	if p.Name == "" {
+		return Phase{}, fmt.Errorf("missing name")
+	}
+	for _, need := range n.Get("needs").Items() {
+		p.Needs = append(p.Needs, need.Str())
+	}
+	var err error
+	if r := n.Get("repeat"); r != nil {
+		v, err := r.Int()
+		if err != nil || v < 1 {
+			return Phase{}, fmt.Errorf("bad repeat: %v", err)
+		}
+		p.Repeat = int(v)
+	}
+	switch p.Kind {
+	case KindProvision, KindChurn:
+		if b := n.Get("budget"); b != nil {
+			v, err := b.Int()
+			if err != nil {
+				return Phase{}, err
+			}
+			p.Budget = int(v)
+		}
+		if p.Backoff, err = durationKey(n, "backoff"); err != nil {
+			return Phase{}, err
+		}
+		if p.ApplyDelay, err = durationKey(n, "applydelay"); err != nil {
+			return Phase{}, err
+		}
+		if p.Bound, err = durationKey(n, "bound"); err != nil {
+			return Phase{}, err
+		}
+		if p.Kind == KindChurn {
+			for _, h := range n.Get("hooks").Items() {
+				p.Hooks = append(p.Hooks, h.Str())
+			}
+			if len(p.Hooks) == 0 {
+				return Phase{}, fmt.Errorf("churn phase %q has no hooks", p.Name)
+			}
+		}
+	case KindFaults:
+		for i, en := range n.Get("events").Items() {
+			ev, err := decodeEvent(en)
+			if err != nil {
+				return Phase{}, fmt.Errorf("event %d: %w", i, err)
+			}
+			p.Events = append(p.Events, ev)
+		}
+		if len(p.Events) == 0 {
+			return Phase{}, fmt.Errorf("faults phase %q has no events", p.Name)
+		}
+	case KindWorkloads, KindAsserts:
+		for _, h := range n.Get("hooks").Items() {
+			p.Hooks = append(p.Hooks, h.Str())
+		}
+		if len(p.Hooks) == 0 {
+			return Phase{}, fmt.Errorf("%s phase %q has no hooks", p.Kind, p.Name)
+		}
+	case KindRun:
+		if p.Until, err = durationKey(n, "until"); err != nil {
+			return Phase{}, err
+		}
+		if p.Until == 0 {
+			return Phase{}, fmt.Errorf("run phase %q needs until", p.Name)
+		}
+	default:
+		return Phase{}, fmt.Errorf("unknown kind %q", p.Kind)
+	}
+	return p, nil
+}
+
+// kindByName maps the faults package's event names back to kinds.
+func kindByName(name string) (faults.Kind, error) {
+	for k := faults.Kind(0); ; k++ {
+		s := k.String()
+		if s == "unknown" {
+			return 0, fmt.Errorf("unknown fault kind %q", name)
+		}
+		if s == name {
+			return k, nil
+		}
+	}
+}
+
+func decodeEvent(n *yamlite.Node) (faults.Event, error) {
+	if err := knownKeys(n, "at", "kind", "target", "p",
+		"pgoodbad", "pbadgood", "lossgood", "lossbad",
+		"dstip", "bootdelay", "pps", "dstmac"); err != nil {
+		return faults.Event{}, err
+	}
+	var ev faults.Event
+	var err error
+	if ev.At, err = durationKey(n, "at"); err != nil {
+		return faults.Event{}, err
+	}
+	if ev.Kind, err = kindByName(n.Get("kind").Str()); err != nil {
+		return faults.Event{}, err
+	}
+	ev.Target = n.Get("target").Str()
+	if ev.Target == "" {
+		return faults.Event{}, fmt.Errorf("missing target")
+	}
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{
+		{"p", &ev.P}, {"pgoodbad", &ev.PGoodBad}, {"pbadgood", &ev.PBadGood},
+		{"lossgood", &ev.LossGood}, {"lossbad", &ev.LossBad}, {"pps", &ev.PPS},
+	} {
+		if v := n.Get(f.key); v != nil {
+			if *f.dst, err = v.Float(); err != nil {
+				return faults.Event{}, err
+			}
+		}
+	}
+	if v := n.Get("dstip"); v != nil {
+		if ev.DstIP, err = fabric.ParseIP(v.Str()); err != nil {
+			return faults.Event{}, err
+		}
+	}
+	if ev.BootDelay, err = durationKey(n, "bootdelay"); err != nil {
+		return faults.Event{}, err
+	}
+	if v := n.Get("dstmac"); v != nil {
+		if ev.DstMAC, err = parseMAC(v.Str()); err != nil {
+			return faults.Event{}, err
+		}
+	}
+	return ev, nil
+}
+
+// parseMAC parses the colon-hex form core.MAC.String renders.
+func parseMAC(s string) (core.MAC, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	var mac core.MAC
+	if len(parts) != len(mac) {
+		return mac, fmt.Errorf("scenario: %q is not a MAC address", s)
+	}
+	for i, p := range parts {
+		var b uint8
+		if _, err := fmt.Sscanf(p, "%02x", &b); err != nil || len(p) != 2 {
+			return mac, fmt.Errorf("scenario: %q is not a MAC address", s)
+		}
+		mac[i] = b
+	}
+	return mac, nil
+}
+
+func durationKey(n *yamlite.Node, key string) (netsim.Time, error) {
+	v := n.Get(key)
+	if v == nil {
+		return 0, nil
+	}
+	return fabric.ParseDuration(v.Str())
+}
+
+func knownKeys(n *yamlite.Node, allowed ...string) error {
+	if n == nil {
+		return fmt.Errorf("scenario: expected a map")
+	}
+outer:
+	for _, k := range n.Keys() {
+		for _, a := range allowed {
+			if k == a {
+				continue outer
+			}
+		}
+		return fmt.Errorf("scenario: unknown key %q (allowed: %s)", k, strings.Join(allowed, ", "))
+	}
+	return nil
+}
+
+// topoOrder resolves phase dependencies: each phase runs after every
+// phase it needs, and among ready phases declaration order wins, so the
+// schedule is stable across runs.
+func topoOrder(phases []Phase) ([]Phase, error) {
+	index := make(map[string]int, len(phases))
+	for i, p := range phases {
+		index[p.Name] = i
+	}
+	for _, p := range phases {
+		for _, need := range p.Needs {
+			if _, ok := index[need]; !ok {
+				return nil, fmt.Errorf("scenario: phase %q needs unknown phase %q", p.Name, need)
+			}
+		}
+	}
+	done := make([]bool, len(phases))
+	out := make([]Phase, 0, len(phases))
+	for len(out) < len(phases) {
+		picked := -1
+		for i, p := range phases {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, need := range p.Needs {
+				if !done[index[need]] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			var stuck []string
+			for i, p := range phases {
+				if !done[i] {
+					stuck = append(stuck, p.Name)
+				}
+			}
+			return nil, fmt.Errorf("scenario: dependency cycle among %s", strings.Join(stuck, ", "))
+		}
+		done[picked] = true
+		out = append(out, phases[picked])
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package scenario_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/asic"
+	"repro/internal/fabric"
+	"repro/internal/fabric/scenario"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+const scenarioSrc = `
+name: converge-under-reboot
+spec:
+  devices:
+    - device: leaf0
+      tenants:
+        - id: 1
+          policy: control
+          words: 64
+          weight: 10
+          burst: 16
+      services:
+        - name: rcp
+          words: 8
+          seed: [1250000]
+      routes:
+        - dst: 10.0.0.1
+          prio: 100
+          port: 1
+    - device: spine0
+      routes:
+        - dst: 10.0.0.1
+          prio: 10
+          port: 0
+phases:
+  # Declared out of dependency order on purpose: needs resolves it.
+  - name: check
+    kind: asserts
+    needs: [heal]
+    hooks: [verified]
+  - name: provision
+    kind: provision
+    budget: 6
+    backoff: 5ms
+    bound: 500ms
+  - name: storm
+    kind: faults
+    needs: [provision]
+    events:
+      - at: 10ms
+        kind: switch-reboot
+        target: $victim
+        bootdelay: 1ms
+  - name: work
+    kind: workloads
+    needs: [provision]
+    hooks: [mark]
+  - name: soak
+    kind: run
+    needs: [work, storm]
+    until: 50ms
+  # The reboot wiped leaf0's soft state; heal reconverges before the
+  # invariant check.
+  - name: heal
+    kind: provision
+    needs: [soak]
+    budget: 6
+    backoff: 5ms
+    bound: 500ms
+  - name: reshuffle
+    kind: churn
+    needs: [check]
+    hooks: [shift]
+    repeat: 3
+    budget: 6
+    backoff: 5ms
+    bound: 500ms
+`
+
+type world struct {
+	env   *scenario.Env
+	leaf  *asic.Switch
+	spine *asic.Switch
+	marks int
+}
+
+func newWorld(seed int64) *world {
+	sim := netsim.New(seed)
+	w := &world{}
+	w.leaf = asic.New(sim, asic.Config{ID: 1, Ports: 4, Guard: true, TPPRate: 1000})
+	w.spine = asic.New(sim, asic.Config{ID: 2, Ports: 4})
+	ctl := fabric.New(sim)
+	ctl.Register("leaf0", w.leaf)
+	ctl.Register("spine0", w.spine)
+	inj := faults.NewInjector(sim, nil)
+	inj.RegisterSwitch("leaf0", w.leaf)
+	inj.RegisterSwitch("spine0", w.spine)
+	w.env = &scenario.Env{
+		Sim:        sim,
+		Controller: ctl,
+		Injector:   inj,
+		Seed:       seed,
+		Vars:       map[string]string{"victim": "leaf0"},
+		Workloads: map[string]scenario.Hook{
+			"mark": func(*scenario.Env) error { w.marks++; return nil },
+		},
+		Asserts: map[string]scenario.Hook{
+			"verified": func(e *scenario.Env) error {
+				if errs := e.Controller.Verify(e.Spec); len(errs) > 0 {
+					return fmt.Errorf("%d devices off spec: %v", len(errs), errs)
+				}
+				return nil
+			},
+		},
+		Churns: map[string]scenario.Hook{
+			"shift": func(e *scenario.Env) error {
+				// Retarget the leaf route each iteration: real churn,
+				// reconverged every time.
+				for di, d := range e.Spec.Devices {
+					if d.Device != "leaf0" {
+						continue
+					}
+					for ri := range d.Routes {
+						e.Spec.Devices[di].Routes[ri].OutPort++
+					}
+				}
+				return nil
+			},
+		},
+	}
+	return w
+}
+
+func run(t *testing.T, seed int64) (scenario.Result, *world) {
+	t.Helper()
+	w := newWorld(seed)
+	sc, err := scenario.Parse(scenarioSrc, w.env.Vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scenario.Run(w.env, sc), w
+}
+
+func TestScenarioRun(t *testing.T) {
+	res, w := run(t, 1)
+	if !res.OK() {
+		t.Fatalf("scenario not OK: aborted=%q failures=%v\n%+v", res.Aborted, res.Failures(), res.Phases)
+	}
+
+	// Dependency order, not declaration order.
+	var order []string
+	for _, p := range res.Phases {
+		order = append(order, p.Name)
+	}
+	want := []string{"provision", "storm", "work", "soak", "heal", "check", "reshuffle"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("phase order = %v, want %v", order, want)
+	}
+
+	if w.marks != 1 {
+		t.Fatalf("workload hook ran %d times", w.marks)
+	}
+
+	// The reboot at 10ms wiped leaf0's services; the churn converges
+	// at 50ms+ re-provisioned them on the bumped epoch.
+	if ep := w.leaf.Epoch(); ep != 1 {
+		t.Fatalf("leaf0 epoch = %d, want 1", ep)
+	}
+
+	// repeat: 3 ran the churn body three times, each converged.
+	last := res.Phases[len(res.Phases)-1]
+	if last.Iterations != 3 || len(last.Converges) != 3 {
+		t.Fatalf("churn: %d iterations, %d converges", last.Iterations, len(last.Converges))
+	}
+	for i, c := range last.Converges {
+		if !c.Converged {
+			t.Fatalf("churn converge %d: %+v", i, c)
+		}
+	}
+	// Three port increments landed: the live route points 3 ports on.
+	if errs := w.env.Controller.Verify(w.env.Spec); len(errs) > 0 {
+		t.Fatalf("final verify: %v", errs)
+	}
+	st, derr := w.env.Controller.ReadState("leaf0")
+	if derr != nil || len(st.Routes) != 1 || st.Routes[0].OutPort != 4 {
+		t.Fatalf("leaf0 final routes: %v %+v", derr, st.Routes)
+	}
+}
+
+// TestScenarioDeterminism: the same scenario under the same seed
+// produces a DeepEqual result; pinned seeds each replay identically
+// run over run.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a, _ := run(t, seed)
+		b, _ := run(t, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: results differ:\n%+v\nvs\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestScenarioAbortsOnUnknownHook(t *testing.T) {
+	w := newWorld(1)
+	sc, err := scenario.Parse(`
+name: bad
+phases:
+  - name: work
+    kind: workloads
+    hooks: [nope]
+  - name: later
+    kind: run
+    needs: [work]
+    until: 10ms
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.Run(w.env, sc)
+	if res.OK() || res.Aborted != "work" {
+		t.Fatalf("want abort at work: %+v", res)
+	}
+	if len(res.Phases) != 1 || !strings.Contains(res.Phases[0].Err, "unknown workload hook") {
+		t.Fatalf("phases = %+v", res.Phases)
+	}
+}
+
+func TestScenarioAssertFailuresCollect(t *testing.T) {
+	w := newWorld(1)
+	w.env.Asserts["fail1"] = func(*scenario.Env) error { return fmt.Errorf("first") }
+	w.env.Asserts["fail2"] = func(*scenario.Env) error { return fmt.Errorf("second") }
+	sc, err := scenario.Parse(`
+name: collect
+phases:
+  - name: check
+    kind: asserts
+    hooks: [fail1, fail2]
+  - name: after
+    kind: run
+    needs: [check]
+    until: 1ms
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.Run(w.env, sc)
+	if res.Aborted != "" {
+		t.Fatalf("assert failures must not abort: %+v", res)
+	}
+	if got := res.Failures(); len(got) != 2 {
+		t.Fatalf("failures = %v", got)
+	}
+	if res.OK() {
+		t.Fatal("failing asserts reported OK")
+	}
+	if len(res.Phases) != 2 {
+		t.Fatal("scenario did not continue past failing asserts")
+	}
+}
+
+func TestScenarioParseErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"phases:\n  - name: a\n    kind: bogus", "unknown kind"},
+		{"phases:\n  - name: a\n    kind: run\n    until: 1ms\n  - name: a\n    kind: run\n    until: 2ms", "duplicate phase"},
+		{"phases:\n  - name: a\n    kind: run\n    until: 1ms\n    needs: [ghost]", "unknown phase"},
+		{"phases:\n  - name: a\n    kind: run\n    until: 1ms\n    needs: [b]\n  - name: b\n    kind: run\n    until: 1ms\n    needs: [a]", "cycle"},
+		{"phases:\n  - name: a\n    kind: faults", "no events"},
+		{"phases:\n  - name: a\n    kind: faults\n    events:\n      - at: 1ms\n        kind: switch-bounce\n        target: x", "unknown fault kind"},
+		{"phases:\n  - name: a\n    kind: workloads", "no hooks"},
+		{"phases:\n  - name: a\n    kind: run", "needs until"},
+	} {
+		if _, err := scenario.Parse(tc.src, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}

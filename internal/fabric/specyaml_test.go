@@ -1,0 +1,114 @@
+package fabric_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/netsim"
+)
+
+const specSrc = `
+devices:
+  - device: leaf0
+    tenants:
+      - id: 1
+        policy: control
+        words: 64
+        weight: 10
+        burst: 16
+    services:
+      - name: rcp
+        words: 8
+        seed: [1250000, 0]
+    routes:
+      - dst: 10.0.0.1
+        prio: 100
+        port: 1
+      - dst: 10.0.9.9
+        prio: 50
+        drop: true
+    prefixes:
+      - prefix: 10.0.0.0/24
+        port: 3
+  - device: spine0
+    routes:
+      - dst: 10.0.0.1
+        prio: 10
+        port: 0
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := fabric.ParseSpec(specSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Devices) != 2 {
+		t.Fatalf("devices = %d", len(spec.Devices))
+	}
+	leaf := spec.Devices[0]
+	if leaf.Device != "leaf0" || len(leaf.Tenants) != 1 || len(leaf.Services) != 1 ||
+		len(leaf.Routes) != 2 || len(leaf.Prefixes) != 1 {
+		t.Fatalf("leaf = %+v", leaf)
+	}
+	tn := leaf.Tenants[0]
+	if tn.ID != 1 || tn.Policy != fabric.PolicyControl || tn.Words != 64 || tn.Weight != 10 || tn.Burst != 16 {
+		t.Fatalf("tenant = %+v", tn)
+	}
+	svc := leaf.Services[0]
+	if svc.Name != "rcp" || svc.Words != 8 || len(svc.Seed) != 2 || svc.Seed[0] != 1250000 {
+		t.Fatalf("service = %+v", svc)
+	}
+	if leaf.Routes[0].DstIP != core.IPv4Addr(10, 0, 0, 1) || leaf.Routes[0].OutPort != 1 {
+		t.Fatalf("route 0 = %+v", leaf.Routes[0])
+	}
+	if !leaf.Routes[1].Drop {
+		t.Fatalf("route 1 = %+v", leaf.Routes[1])
+	}
+	p := leaf.Prefixes[0]
+	if p.Addr != core.IPv4Addr(10, 0, 0, 0) || p.Len != 24 || p.OutPort != 3 {
+		t.Fatalf("prefix = %+v", p)
+	}
+	// The parsed spec drives a real fabric end to end.
+	h := newHarness(1)
+	mustConverge(t, h, spec)
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"devices:\n  - device: x\n    bogus: 1", "unknown key"},
+		{"devices:\n  - device: x\n    routes:\n      - dst: 10.0.0.1\n        prio: 1", "needs port or drop"},
+		{"devices:\n  - device: x\n    routes:\n      - dst: 300.0.0.1\n        prio: 1\n        port: 0", "dotted quad"},
+		{"devices:\n  - device: x\n    prefixes:\n      - prefix: 10.0.0.0/40\n        port: 0", "prefix length"},
+		{"devices:\n  - device: x\n    tenants:\n      - id: 1", "missing key"},
+		// A list-valued key written as a map must fail loudly, not
+		// decode as zero items.
+		{"devices:\n  leaf0:\n    routes: []", "devices must be a list"},
+		{"devices:\n  - device: x\n    routes:\n      r0:\n        dst: 10.0.0.1", "routes must be a list"},
+	} {
+		if _, err := fabric.ParseSpec(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want netsim.Time
+	}{
+		{"250ns", 250},
+		{"10us", 10 * netsim.Microsecond},
+		{"50ms", 50 * netsim.Millisecond},
+		{"1.5s", netsim.Time(1.5 * float64(netsim.Second))},
+	} {
+		got, err := fabric.ParseDuration(tc.src)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", tc.src, got, err, tc.want)
+		}
+	}
+	if _, err := fabric.ParseDuration("7"); err == nil {
+		t.Error("bare number parsed as duration")
+	}
+}

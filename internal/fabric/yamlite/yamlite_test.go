@@ -1,0 +1,125 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestScalarsAndMaps(t *testing.T) {
+	n := parse(t, `
+name: converge  # trailing comment
+count: 42
+ratio: 2.5
+deep:
+  enabled: true
+  label: "quoted: value"
+  empty:
+`)
+	if got := n.Get("name").Str(); got != "converge" {
+		t.Fatalf("name = %q", got)
+	}
+	if v, err := n.Get("count").Int(); err != nil || v != 42 {
+		t.Fatalf("count = %d, %v", v, err)
+	}
+	if v, err := n.Get("ratio").Float(); err != nil || v != 2.5 {
+		t.Fatalf("ratio = %g, %v", v, err)
+	}
+	if v, err := n.Get("deep").Get("enabled").Bool(); err != nil || !v {
+		t.Fatalf("enabled = %v, %v", v, err)
+	}
+	if got := n.Get("deep").Get("label").Str(); got != "quoted: value" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := n.Get("deep").Get("empty"); got == nil || got.Str() != "" {
+		t.Fatalf("empty = %+v", got)
+	}
+	if n.Get("missing") != nil {
+		t.Fatal("missing key resolved")
+	}
+	if got := n.Keys(); len(got) != 4 || got[0] != "name" || got[3] != "deep" {
+		t.Fatalf("key order = %v", got)
+	}
+}
+
+func TestLists(t *testing.T) {
+	n := parse(t, `
+plain:
+  - one
+  - two
+flow: [1, 2, 3]
+maps:
+  - name: a
+    words: 8
+    seed: [10, 20]
+  - name: b
+    words: 4
+nested:
+  -
+    - x
+    - y
+`)
+	plain := n.Get("plain").Items()
+	if len(plain) != 2 || plain[0].Str() != "one" || plain[1].Str() != "two" {
+		t.Fatalf("plain = %+v", plain)
+	}
+	flow := n.Get("flow").Items()
+	if len(flow) != 3 {
+		t.Fatalf("flow = %+v", flow)
+	}
+	if v, _ := flow[2].Int(); v != 3 {
+		t.Fatalf("flow[2] = %v", flow[2])
+	}
+	maps := n.Get("maps").Items()
+	if len(maps) != 2 {
+		t.Fatalf("maps = %+v", maps)
+	}
+	if got := maps[0].Get("name").Str(); got != "a" {
+		t.Fatalf("maps[0].name = %q", got)
+	}
+	if v, _ := maps[0].Get("words").Int(); v != 8 {
+		t.Fatal("maps[0].words")
+	}
+	if seed := maps[0].Get("seed").Items(); len(seed) != 2 {
+		t.Fatalf("seed = %+v", seed)
+	}
+	if got := maps[1].Get("name").Str(); got != "b" {
+		t.Fatalf("maps[1].name = %q", got)
+	}
+	inner := n.Get("nested").Items()
+	if len(inner) != 1 || inner[0].Kind() != List || len(inner[0].Items()) != 2 {
+		t.Fatalf("nested = %+v", inner)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"a:\n\tb: 1", "tabs"},
+		{"a: 1\na: 2", "duplicate key"},
+		{"a: [1, 2", "unterminated flow list"},
+		{"a: \"oops", "unterminated quoted"},
+		{"- x\n  - y", "unexpected indentation"},
+		{"a:\n  - x\n  b: 1", "expected list item"},
+		{"just text", "key: value"},
+	} {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	n := parse(t, "\n# only a comment\n")
+	if n.Kind() != Map || len(n.Keys()) != 0 {
+		t.Fatalf("empty doc = %+v", n)
+	}
+}

@@ -13,6 +13,13 @@
 // timed Events against those names.  Every applied event is visible in
 // the internal/obs span stream (StageFaultInject / StageFaultRecover),
 // so experiment traces interleave faults with packet lifecycles.
+//
+// Composition order is guaranteed: Schedule arms events on the
+// simulator in plan-list order, and the simulator breaks same-time
+// ties first-in-first-out, so events sharing a tick apply in the order
+// their plan lists them — and across Schedule calls, in call order.
+// Two plans that target the same switch in the same tick therefore
+// compose deterministically (and replay identically by seed).
 package faults
 
 import (

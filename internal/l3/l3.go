@@ -75,6 +75,40 @@ func (t *Table) Remove(prefix uint32, plen int) bool {
 	return true
 }
 
+// PrefixRoute is one installed prefix paired with its route, as
+// enumerated by Routes.
+type PrefixRoute struct {
+	Prefix uint32
+	Len    int
+	Route  Route
+}
+
+// Routes enumerates every installed prefix in deterministic trie order
+// (a prefix before its refinements, the zero branch before the one
+// branch).  This is the control plane's read-back path: a fabric
+// controller diffs desired prefixes against what the trie actually
+// holds instead of assuming its own past writes stuck.
+func (t *Table) Routes() []PrefixRoute {
+	out := make([]PrefixRoute, 0, t.size)
+	var walk func(n *node, prefix uint32, depth int)
+	walk = func(n *node, prefix uint32, depth int) {
+		if n.route != nil {
+			out = append(out, PrefixRoute{Prefix: prefix, Len: depth, Route: *n.route})
+		}
+		if depth == 32 {
+			return
+		}
+		if c := n.children[0]; c != nil {
+			walk(c, prefix, depth+1)
+		}
+		if c := n.children[1]; c != nil {
+			walk(c, prefix|1<<(31-depth), depth+1)
+		}
+	}
+	walk(&t.root, 0, 0)
+	return out
+}
+
 // Lookup returns the route of the longest prefix covering ip.
 func (t *Table) Lookup(ip uint32) (Route, bool) {
 	n := &t.root

@@ -71,6 +71,9 @@ func TestRealPackagesClean(t *testing.T) {
 		"../../internal/core",
 		"../../internal/endhost",
 		"../../internal/inband",
+		"../../internal/fabric",
+		"../../internal/fabric/scenario",
+		"../../internal/fabric/yamlite",
 	} {
 		if fs := findingsFor(t, dir); len(fs) != 0 {
 			t.Errorf("%s: %v", dir, fs)

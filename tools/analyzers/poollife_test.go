@@ -184,6 +184,7 @@ func TestPoolLifeRealPackagesClean(t *testing.T) {
 		"../../internal/asic",
 		"../../internal/endhost",
 		"../../internal/inband",
+		"../../internal/fabric",
 	} {
 		fs, err := Dir(dir, PoolLife())
 		if err != nil {
