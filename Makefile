@@ -5,23 +5,24 @@ GO        ?= go
 BENCH     ?= .
 BENCHTIME ?= 1x
 
-.PHONY: all build vet lint test race check soak soak-pooldebug scenario allocgate allocgate-baseline fuzz bench bench-json bench-save experiments clean
+.PHONY: all build vet lint test race check soak soak-pooldebug scenario allocgate allocgate-baseline fuzz bench bench-json bench-save reroute experiments clean
 
 # Packages whose behavior must be a pure function of inputs and seeds;
 # the determinism analyzers (notime, norand, maporder) gate them.
 LINT_PKGS = ./internal/netsim ./internal/asic ./internal/tcpu ./internal/faults ./internal/guard \
-	./internal/core ./internal/endhost ./internal/inband \
+	./internal/core ./internal/endhost ./internal/inband ./internal/reflex \
 	./internal/fabric ./internal/fabric/scenario ./internal/fabric/yamlite
 
 # Packages that handle pooled packets; the poollife ownership analyzer
 # (use-after-Recycle, double-Recycle, retain-without-Adopt,
 # recycle-after-shallow-copy) gates them.
 POOL_PKGS = ./internal/core ./internal/netsim ./internal/asic ./internal/endhost ./internal/inband \
-	./internal/fabric
+	./internal/fabric ./internal/reflex
 
 # Packages with //alloc:free hot-path annotations; the escape gate
 # pins them against ALLOCGATE.json.
-ALLOC_PKGS = ./internal/core ./internal/tcpu ./internal/netsim ./internal/asic ./internal/endhost
+ALLOC_PKGS = ./internal/core ./internal/tcpu ./internal/netsim ./internal/asic ./internal/endhost \
+	./internal/reflex
 
 all: check
 
@@ -65,13 +66,15 @@ race:
 check: vet build race
 
 # soak runs the composed chaos scenarios verbosely: the crash-restart
-# soak (reboots + bursty loss + blackhole + throttling) and the
+# soak (reboots + bursty loss + blackhole + throttling), the
 # hostile-tenant isolation soak (forged-write flood vs victim RCP* and
-# accounting).  The seeds are pinned inside the tests (1, 7, 42) and
+# accounting), and the reflex fast-reroute soak (seeded gray link flaps
+# racing a leaf crash-restart against the reflex arm's evidence and
+# TCAM writes).  The seeds are pinned inside the tests (1, 7, 42) and
 # each runs twice: both runs must produce identical results word for
 # word.
 soak:
-	$(GO) test -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
+	$(GO) test -run 'TestChaosSoak|TestHostileSoak|TestReflexSoak' -v -count=1 ./internal/chaos
 
 # scenario exercises the fabric control plane end to end: the
 # controller/converge/scenario-runner test suites verbosely, the
@@ -89,7 +92,7 @@ scenario:
 # generations; stale references and clobbered canaries panic at the
 # offending call site) under the race detector.
 soak-pooldebug:
-	$(GO) test -race -tags pooldebug -run 'TestChaosSoak|TestHostileSoak' -v -count=1 ./internal/chaos
+	$(GO) test -race -tags pooldebug -run 'TestChaosSoak|TestHostileSoak|TestReflexSoak' -v -count=1 ./internal/chaos
 
 # fuzz smoke-tests the three soundness properties: verified programs
 # never trip a dynamic fault, guest programs never escape their tenant
@@ -119,6 +122,12 @@ bench-save:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -json . \
 		| $(GO) run ./tools/benchjson -o BENCH_obs.json \
 			-extra 'BENCH_tcpu.json=^Benchmark(TCPU|PipelineTelemetry)'
+
+# reroute runs the reflex fast-reroute experiment (dataplane
+# sub-RTT repair vs prober-driven controller repair on a killed
+# uplink) and refreshes the committed results/reroute.csv.
+reroute:
+	$(GO) run ./cmd/experiments -out results reroute
 
 # experiments regenerates every paper artifact with telemetry enabled.
 experiments:

@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"reboot", "robustness: switch crash-restart chaos soak", runReboot},
 	{"hostile", "robustness: hostile-tenant isolation soak", runHostile},
 	{"converge", "robustness: fabric converge-under-churn vs crash-restarts", runConverge},
+	{"reroute", "robustness: reflex fast-reroute vs prober-driven repair", runReroute},
 	{"rtthist", "in-band dataplane RTT histogram vs host ground truth", runRTTHist},
 	{"spinbit", "passive spin-bit RTT observer at a mid-path switch", runSpinBit},
 }

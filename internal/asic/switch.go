@@ -130,6 +130,15 @@ const DefaultTPPBurst = 8
 // per-hop packet copies.
 type ForwardFunc func(pkt *core.Packet, inPort, outPort int)
 
+// ReflexHook is the dataplane failure-reaction agent (internal/reflex):
+// it sees every packet after egress selection and may override the
+// egress port — the sub-RTT fast-reroute path.  The hook runs at
+// per-packet cadence on the forwarding hot path and must not allocate
+// in steady state.
+type ReflexHook interface {
+	Transit(pkt *core.Packet, outPort int) int
+}
+
 // Switch is a TPP-capable switch.
 type Switch struct {
 	sim *netsim.Sim
@@ -180,6 +189,7 @@ type Switch struct {
 	spin []*spinWatch
 
 	mirror ForwardFunc
+	reflex ReflexHook
 
 	// tcpuOff disables TPP execution on this switch (fault injection:
 	// a broken or administratively disabled TCPU).  Packets still
@@ -270,6 +280,16 @@ func New(sim *netsim.Sim, cfg Config) *Switch {
 	if cfg.Guard {
 		s.guard = guard.NewTable()
 		s.mTenantDenied = make(map[guard.TenantID]*obs.Counter)
+		// Mutual avoidance: operator task regions and tenant partitions
+		// share the one SRAM bank, and both sides carve it first-fit
+		// from SRAMBase.  Without cross-registration a tenant grant can
+		// land exactly over a live operator region (zeroing it, then
+		// aliasing it through the tenant's relocated window) and a
+		// post-reboot re-allocation can land inside a surviving tenant
+		// partition.  Each carver treats the other's live regions as
+		// taken.
+		s.guard.SetReserved(s.alloc.Regions)
+		s.alloc.SetReserved(s.guard.Partitions)
 	}
 	reg := cfg.Metrics // nil registry hands out nil (no-op) handles
 	s.m = switchMetrics{
@@ -364,6 +384,36 @@ func (s *Switch) SetSRAM(i int, v uint32) {
 
 // SetMirror installs the forwarding observer.
 func (s *Switch) SetMirror(fn ForwardFunc) { s.mirror = fn }
+
+// SetReflex installs the dataplane failure-reaction hook (nil
+// uninstalls it).  The hook runs on every forwarded packet after the
+// egress decision and may override it.
+func (s *Switch) SetReflex(h ReflexHook) { s.reflex = h }
+
+// InjectLocal enqueues a switch-originated control frame (a reflex
+// heartbeat, in practice) directly on egress port out.  The frame is
+// firmware output, not transit traffic: it bypasses the lookup
+// pipeline, the TCPU and the reflex hook — a heartbeat must probe the
+// port it was aimed at even while that port's traffic is detoured.
+// Returns false when the switch is mid-boot, the port is unwired, or
+// the egress queue dropped the frame.
+func (s *Switch) InjectLocal(pkt *core.Packet, out int) bool {
+	if s.booting {
+		s.dropRebooted(pkt, out)
+		return false
+	}
+	if out < 0 || out >= len(s.ports) || !s.ports[out].Wired() {
+		s.blackholes++
+		s.m.blackholes.Inc()
+		s.span(pkt, obs.StageBlackhole, uint64(out), uint64(out))
+		pkt.Recycle()
+		return false
+	}
+	pkt.Meta.OutPort = uint32(out)
+	pkt.Meta.QueueID = 0
+	pkt.Meta.EnqueuedAt = int64(s.sim.Now())
+	return s.ports[out].enqueue(pkt, 0)
+}
 
 // SetTCPUEnabled toggles TPP execution on this switch — the fault
 // injector's per-switch TCPU kill switch.  While disabled, TPP packets
@@ -700,6 +750,13 @@ func (s *Switch) forwardL2(pkt *core.Packet, inPort int) {
 //
 //alloc:free
 func (s *Switch) deliver(pkt *core.Packet, inPort, outPort int) {
+	// The reflex hook may override the egress decision: when the chosen
+	// port's next-hop is dead or persistently congested, the arm fires
+	// its CAS-checked TCAM rewrite and re-steers this very packet onto
+	// the backup — sub-RTT recovery includes the triggering packet.
+	if s.reflex != nil {
+		outPort = s.reflex.Transit(pkt, outPort)
+	}
 	if outPort < 0 || outPort >= len(s.ports) || !s.ports[outPort].Wired() {
 		s.blackholes++
 		s.m.blackholes.Inc()

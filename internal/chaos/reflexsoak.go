@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/asic"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/reflex"
+	"repro/internal/tcam"
+	"repro/internal/topo"
+)
+
+// ReflexSoakConfig parameterizes the reflex fast-reroute soak: a
+// leaf-spine fabric whose primary uplink gray-flaps repeatedly (in
+// seeded directions and with seeded jitter) while the home leaf
+// crash-restarts mid-detour, racing the reflex arm's evidence and TCAM
+// writes against the reboot wipe.  Zero values select the canonical
+// scenario via DefaultReflexSoak.
+type ReflexSoakConfig struct {
+	Seed     int64
+	Duration netsim.Time
+
+	// Flaps is how many gray down/up cycles hit the leaf0-spine0 link.
+	// Each flap's direction (leaf→spine vs spine→leaf) and exact
+	// timing derive from Seed, so different seeds exercise different
+	// failure surfaces — including the gray case where the stream is
+	// untouched and only the heartbeat round trip dies.
+	Flaps int
+
+	// RebootAt crash-restarts leaf 0 (the reflex arm's home switch)
+	// while a detour is standing; BootDelay is its dark window.
+	RebootAt  netsim.Time
+	BootDelay netsim.Time
+}
+
+// DefaultReflexSoak is the canonical reflex soak: 40 simulated
+// milliseconds, three seeded gray flaps on the primary uplink, and a
+// leaf-0 crash-restart inside the third flap's down window.
+func DefaultReflexSoak(seed int64) ReflexSoakConfig {
+	return ReflexSoakConfig{
+		Seed:     seed,
+		Duration: 40 * netsim.Millisecond,
+		Flaps:    3,
+		// The third flap darkens the uplink at >= 24ms (see flapPlan);
+		// rebooting shortly after lands inside its detour window.
+		RebootAt:  25 * netsim.Millisecond,
+		BootDelay: 200 * netsim.Microsecond,
+	}
+}
+
+// ReflexSoakResult is the soak's observable outcome, plain values only
+// so two runs with the same config compare wholesale.
+type ReflexSoakResult struct {
+	// Reflex arm counters at end of run.
+	Fires, Reverts, StaleWrites, Probes uint64
+
+	// Stream accounting: packets the sender handed to the fabric and
+	// packets the far host received.  The difference is the loss the
+	// flaps and the reboot cost despite the reflex.
+	Sent, Delivered uint64
+
+	// Loop evidence: a reflex detour that formed a forwarding loop
+	// would burn TTLs; both counters must stay zero.
+	TTLDrops, Blackholes uint64
+
+	// Conservation audit over every queue of every switch (see
+	// Result.Leaked).
+	Leaked int64
+
+	// Reboot bookkeeping on leaf 0.
+	Reboots     uint64
+	RebootDrops uint64
+
+	// Trajectory samples one word per millisecond:
+	// fires<<40 | reverts<<20 | active detours.  Run-vs-run equality
+	// of the whole slice pins the timing of every fire and revert, not
+	// just the totals.
+	Trajectory []uint64
+
+	// End state: the armed entry's live out port, whether the arm
+	// ended detoured or stale, and the closing fabric reconciliation —
+	// Ratified counts detours folded into spec before the final
+	// converge (zero when the reflex already reverted).
+	FinalOutPort int
+	EndDetoured  bool
+	EndStale     bool
+	Ratified     int
+	Converged    bool
+}
+
+// flapPlan derives the seeded gray-flap schedule: flap i darkens one
+// seeded direction of the leaf0-spine0 link at 4ms + i*10ms plus
+// jitter, for 2ms plus jitter.  The jitter source is a local LCG over
+// Seed — never the simulator's shared rng — so the plan is a pure
+// function of the config.
+func flapPlan(cfg ReflexSoakConfig) []faults.Event {
+	r := uint64(cfg.Seed)
+	next := func(n uint64) uint64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return (r >> 33) % n
+	}
+	var evs []faults.Event
+	for i := 0; i < cfg.Flaps; i++ {
+		down := 4*netsim.Millisecond + netsim.Time(i)*10*netsim.Millisecond +
+			netsim.Time(next(1000))*netsim.Microsecond
+		up := down + 2*netsim.Millisecond + netsim.Time(next(2000))*netsim.Microsecond
+		dir := int(next(2))
+		evs = append(evs,
+			faults.Event{At: down, Kind: faults.LinkGrayDown, Target: "leaf0-spine0", Dir: dir},
+			faults.Event{At: up, Kind: faults.LinkGrayUp, Target: "leaf0-spine0", Dir: dir},
+		)
+	}
+	return evs
+}
+
+// RunReflexSoak executes the reflex fast-reroute soak.
+func RunReflexSoak(cfg ReflexSoakConfig) ReflexSoakResult {
+	if cfg.Duration <= 0 {
+		cfg = DefaultReflexSoak(cfg.Seed)
+	}
+	sim := netsim.New(cfg.Seed)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1 << 16)
+
+	edge := topo.Mbps(1000, 5*netsim.Microsecond)
+	fab := topo.Mbps(1000, 10*netsim.Microsecond)
+	_, hosts, leaves, spines := topo.LeafSpine(sim, 2, 2, 2, edge, fab,
+		asic.Config{Metrics: reg, Trace: tracer})
+	h00, h10 := hosts[0][0], hosts[1][0]
+
+	// Exact-match dst routes in the controller band, declared as a
+	// fabric spec and mirrored as direct inserts (the soak provisions
+	// by hand; the closing converge checks the spec still holds).
+	// Leaf uplink j faces spine j; spine port i faces leaf i; hosts
+	// sit on ports 2 and 3.
+	all := append(append([]*asic.Switch{}, leaves...), spines...)
+	insert := func(sw *asic.Switch, prio int, ip uint32, port int) {
+		v, m := tcam.DstIPRule(ip)
+		sw.TCAM().Insert(fabric.BandBase+prio, v, m, tcam.Action{OutPort: port})
+	}
+	leafPlan := [][]struct {
+		prio, port int
+		ip         uint32
+	}{
+		{{10, 0, h10.IP}, {11, 0, hosts[1][1].IP}, {12, 2, h00.IP}, {13, 3, hosts[0][1].IP}},
+		{{10, 2, h10.IP}, {11, 3, hosts[1][1].IP}, {12, 0, h00.IP}, {13, 0, hosts[0][1].IP}},
+	}
+	for li, plan := range leafPlan {
+		for _, p := range plan {
+			insert(leaves[li], p.prio, p.ip, p.port)
+		}
+	}
+	for _, sp := range spines {
+		insert(sp, 10, h10.IP, 1)
+		insert(sp, 11, hosts[1][1].IP, 1)
+		insert(sp, 12, h00.IP, 0)
+		insert(sp, 13, hosts[0][1].IP, 0)
+	}
+	ctrl := fabric.New(sim)
+	ctrl.Register("leaf0", leaves[0])
+	spec := fabric.Spec{Devices: []fabric.DeviceSpec{{
+		Device: "leaf0",
+		Routes: []fabric.Route{
+			{DstIP: h10.IP, Priority: 10, OutPort: 0},
+			{DstIP: hosts[1][1].IP, Priority: 11, OutPort: 0},
+			{DstIP: h00.IP, Priority: 12, OutPort: 2},
+			{DstIP: hosts[0][1].IP, Priority: 13, OutPort: 3},
+		},
+	}}}
+
+	// The reflex arm on leaf 0: both uplinks monitored through the h00
+	// reflector, h10's prefix armed onto spine 1.
+	arm, err := reflex.Attach(sim, leaves[0], reflex.Config{
+		Metrics: reg, Trace: tracer,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("chaos: reflex attach: %v", err))
+	}
+	ctrl.RegisterDetours("leaf0", arm)
+	if err := arm.Monitor(0, h00.MAC, h00.IP); err != nil {
+		panic(fmt.Sprintf("chaos: monitor 0: %v", err))
+	}
+	if err := arm.Monitor(1, h00.MAC, h00.IP); err != nil {
+		panic(fmt.Sprintf("chaos: monitor 1: %v", err))
+	}
+	if err := arm.Authorize("h10-via-spine1", h10.IP, 0, 1); err != nil {
+		panic(fmt.Sprintf("chaos: authorize: %v", err))
+	}
+
+	// Fault plan: seeded gray flaps on the primary uplink plus one
+	// leaf-0 crash-restart racing the standing detour.
+	inj := faults.NewInjector(sim, tracer)
+	inj.RegisterLink("leaf0-spine0",
+		leaves[0].Port(0).Channel(), spines[0].Port(0).Channel())
+	inj.RegisterSwitch("leaf0", leaves[0])
+	plan := faults.Plan{Seed: cfg.Seed, Events: flapPlan(cfg)}
+	if cfg.RebootAt > 0 && cfg.RebootAt < cfg.Duration {
+		plan.Events = append(plan.Events, faults.Event{
+			At: cfg.RebootAt, Kind: faults.SwitchReboot,
+			Target: "leaf0", BootDelay: cfg.BootDelay,
+		})
+	}
+	if err := inj.Schedule(plan); err != nil {
+		panic(fmt.Sprintf("chaos: reflex soak plan: %v", err))
+	}
+
+	// Workload: a steady h00 → h10 stream across the armed prefix.
+	res := ReflexSoakResult{}
+	sim.Every(100*netsim.Microsecond, 50*netsim.Microsecond, func() {
+		res.Sent++
+		h00.Send(h00.NewPacket(h10.MAC, h10.IP, 4000, 4001, 200))
+	})
+
+	// Trajectory sampler: one packed word per millisecond.
+	sim.Every(netsim.Millisecond, netsim.Millisecond, func() {
+		res.Trajectory = append(res.Trajectory,
+			arm.Fires()<<40|arm.Reverts()<<20|uint64(len(arm.ActiveDetours())))
+	})
+
+	sim.RunUntil(cfg.Duration)
+
+	// End-of-soak arm state, read before the closing reconciliation
+	// mutates anything.
+	res.EndDetoured = arm.Detoured("h10-via-spine1")
+	res.EndStale = arm.Stale("h10-via-spine1")
+
+	// Closing reconciliation: ratify any standing detour into the spec
+	// (promoting the arm so it stops trying to revert a routing the
+	// operator just blessed), then converge — the fabric must end
+	// clean either way.  A stale arm's rewrite is ordinary drift here:
+	// the converge restores the spec's primary.
+	finalSpec, ratified := ctrl.Ratify(spec)
+	res.Ratified = ratified
+	if ratified > 0 {
+		if err := arm.Promote("h10-via-spine1"); err != nil {
+			panic(fmt.Sprintf("chaos: promote: %v", err))
+		}
+	}
+	var cres fabric.ConvergeResult
+	ctrl.Converge(finalSpec, fabric.ConvergeConfig{}, func(r fabric.ConvergeResult) { cres = r })
+	sim.RunUntil(cfg.Duration + 10*netsim.Millisecond)
+	res.Converged = cres.Converged
+
+	// Audit.
+	res.Fires = arm.Fires()
+	res.Reverts = arm.Reverts()
+	res.StaleWrites = arm.StaleWrites()
+	res.Probes = arm.ProbesSent()
+	res.Delivered = h10.Received
+	if id, ok := arm.EntryOf("h10-via-spine1"); ok {
+		if e, live := leaves[0].TCAM().Get(id); live {
+			res.FinalOutPort = e.Action.OutPort
+		}
+	}
+	for _, sw := range all {
+		res.TTLDrops += reg.Counter(fmt.Sprintf("switch/%d/ttl_drops", sw.ID())).Value()
+		res.Blackholes += reg.Counter(fmt.Sprintf("switch/%d/blackholes", sw.ID())).Value()
+		for p := 0; p < sw.Ports(); p++ {
+			port := sw.Port(p)
+			for q := 0; q < port.Queues(); q++ {
+				qu := port.Queue(q)
+				res.Leaked += int64(qu.EnqPkts) -
+					int64(qu.DeqPkts+qu.FlushedPkts+uint64(qu.Len()))
+			}
+		}
+	}
+	res.Reboots = leaves[0].Reboots()
+	res.RebootDrops = leaves[0].RebootDrops()
+	return res
+}

@@ -23,6 +23,14 @@ const (
 	OpAddRoute
 	OpUpdateRoute
 	OpAddPrefix
+	// OpDetour is informational, not a mutation: a band route differs
+	// from spec because a dataplane reflex arm steered it onto its
+	// pre-authorized backup next-hop.  Apply skips it (the controller
+	// must not fight an emergency rewrite for a link it has not yet
+	// verified healthy); Verify tolerates it.  The operator resolves it
+	// by ratifying the detour into spec or converging after the reflex
+	// reverts.
+	OpDetour
 )
 
 var opKindNames = [...]string{
@@ -35,6 +43,7 @@ var opKindNames = [...]string{
 	OpAddRoute:     "add-route",
 	OpUpdateRoute:  "update-route",
 	OpAddPrefix:    "add-prefix",
+	OpDetour:       "detour",
 }
 
 // String names the op kind.
@@ -59,6 +68,9 @@ type Op struct {
 	// captured from read-back so the write hits exactly the entry the
 	// diff saw (the versioned-TCAM write discipline).
 	EntryID uint32
+	// BackupPort is the reflex-installed next-hop of a detour op; the
+	// Route field carries the spec's (primary) routing.
+	BackupPort int
 }
 
 // String renders one op in the dry-run's diff notation.
@@ -84,6 +96,9 @@ func (o Op) String() string {
 			ipString(o.Route.DstIP), o.Route.Priority, o.Route.targetString(), o.EntryID)
 	case OpAddPrefix:
 		return fmt.Sprintf("+ prefix %s/%d -> port %d", ipString(o.Prefix.Addr), o.Prefix.Len, o.Prefix.OutPort)
+	case OpDetour:
+		return fmt.Sprintf("= detour dst=%s prio=%d port %d ~> %d (entry %d, reflex)",
+			ipString(o.Route.DstIP), o.Route.Priority, o.Route.OutPort, o.BackupPort, o.EntryID)
 	}
 	return "?"
 }
@@ -120,13 +135,42 @@ func (cs ChangeSet) Empty() bool {
 	return true
 }
 
-// Ops counts the mutations across all devices.
+// Ops counts the ops across all devices, informational detours
+// included.
 func (cs ChangeSet) Ops() int {
 	n := 0
 	for _, d := range cs.Devices {
 		n += len(d.Ops)
 	}
 	return n
+}
+
+// Mutations counts the ops Apply would actually write — everything
+// except informational detour ops.
+func (cs ChangeSet) Mutations() int {
+	n := 0
+	for _, d := range cs.Devices {
+		for _, op := range d.Ops {
+			if op.Kind != OpDetour {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Detours collects the informational detour ops across all devices, in
+// device then op order.
+func (cs ChangeSet) Detours() []Op {
+	var out []Op
+	for _, d := range cs.Devices {
+		for _, op := range d.Ops {
+			if op.Kind == OpDetour {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
 }
 
 // String renders the canonical dry-run listing.  The rendering is a

@@ -18,6 +18,7 @@ type Controller struct {
 	sim     *netsim.Sim
 	devices map[string]*asic.Switch
 	names   []string
+	detours map[string]DetourSource
 }
 
 // New builds a controller on the simulation clock (used by Converge's
@@ -67,7 +68,7 @@ func (c *Controller) Diff(spec Spec) (ChangeSet, []DeviceError, error) {
 			errs = append(errs, *derr)
 			continue
 		}
-		ops, derr := diffDevice(d, st)
+		ops, derr := diffDevice(d, st, c.detoursFor(d.Device))
 		if derr != nil {
 			errs = append(errs, *derr)
 			continue
@@ -84,10 +85,11 @@ func (c *Controller) Diff(spec Spec) (ChangeSet, []DeviceError, error) {
 }
 
 // diffDevice computes one device's ops: removals first, then grants and
-// allocations, then routing (the OpKind order).  Both inputs are in
-// canonical sort order, so the output is deterministic.
-func diffDevice(d DeviceSpec, st DeviceState) ([]Op, *DeviceError) {
-	var revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx []Op
+// allocations, then routing (the OpKind order), with informational
+// detour ops last.  Both inputs are in canonical sort order, so the
+// output is deterministic.
+func diffDevice(d DeviceSpec, st DeviceState, dets []Detour) ([]Op, *DeviceError) {
+	var revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx, detours []Op
 
 	// Tenants: the table has no ownership band to carve, so a spec
 	// claims it only by listing at least one tenant — and then it owns
@@ -177,7 +179,14 @@ func diffDevice(d DeviceSpec, st DeviceState) ([]Op, *DeviceError) {
 		if !ok {
 			rmRoutes = append(rmRoutes, Op{Kind: OpRemoveRoute, Route: r.Route, EntryID: r.EntryID})
 		} else if w.OutPort != r.OutPort || w.Drop != r.Drop {
-			updRoutes = append(updRoutes, Op{Kind: OpUpdateRoute, Route: w, EntryID: r.EntryID})
+			if det, ok := matchDetour(dets, w, r); ok {
+				// The drift is a reflex detour the arm still stands
+				// behind: report it, don't fight it.
+				detours = append(detours, Op{Kind: OpDetour, Route: w,
+					EntryID: r.EntryID, BackupPort: det.BackupPort})
+			} else {
+				updRoutes = append(updRoutes, Op{Kind: OpUpdateRoute, Route: w, EntryID: r.EntryID})
+			}
 		}
 	}
 	for _, r := range d.Routes { // sorted
@@ -212,10 +221,27 @@ func diffDevice(d DeviceSpec, st DeviceState) ([]Op, *DeviceError) {
 	}
 
 	var ops []Op
-	for _, group := range [][]Op{revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx} {
+	for _, group := range [][]Op{revokes, frees, rmRoutes, rmPfx, grants, allocs, addRoutes, updRoutes, addPfx, detours} {
 		ops = append(ops, group...)
 	}
 	return ops, nil
+}
+
+// matchDetour reports whether the drift between spec route w and live
+// route r is exactly an active reflex detour: the live entry is the one
+// the arm rewrote, still at the version the arm left it, with the live
+// action on the backup port and the spec wanting the detour's primary.
+// Anything less is ordinary drift the controller repairs.
+func matchDetour(dets []Detour, w Route, r RouteState) (Detour, bool) {
+	for _, det := range dets {
+		if det.EntryID == r.EntryID && det.Version == r.Version &&
+			det.DstIP == w.DstIP && det.Priority == w.Priority &&
+			!w.Drop && !r.Drop &&
+			w.OutPort == det.PrimaryPort && r.OutPort == det.BackupPort {
+			return det, true
+		}
+	}
+	return Detour{}, false
 }
 
 // DeviceReport is one device's apply outcome.
@@ -315,6 +341,9 @@ func (c *Controller) applyDevice(dc DeviceChange) DeviceReport {
 	}
 
 	for i, op := range dc.Ops {
+		if op.Kind == OpDetour {
+			continue // informational: the reflex write already landed
+		}
 		if err := applyOp(sw, op); err != nil {
 			return fail(ErrWriteFailed, fmt.Sprintf("op %d (%s): %v", i, op, err))
 		}
@@ -337,6 +366,9 @@ func (c *Controller) applyDevice(dc DeviceChange) DeviceReport {
 	}
 
 	for i, op := range dc.Ops {
+		if op.Kind == OpDetour {
+			continue
+		}
 		if detail := verifyOp(sw, op); detail != "" {
 			return fail(ErrVerifyFailed, fmt.Sprintf("op %d (%s): %s", i, op, detail))
 		}
@@ -491,7 +523,10 @@ func (c *Controller) rollback(dev string, snap DeviceState, snapWords map[string
 	if derr != nil {
 		return derr
 	}
-	ops, derr2 := diffDevice(d, st)
+	// Rollback restores the exact pre-apply snapshot, detours and all:
+	// the snapshot's RouteStates already carry whatever actions the
+	// reflex had installed, so no detour source is consulted here.
+	ops, derr2 := diffDevice(d, st, nil)
 	if derr2 != nil {
 		return derr2
 	}
@@ -523,10 +558,23 @@ func (c *Controller) Verify(spec Spec) []DeviceError {
 		return []DeviceError{{Kind: ErrSpecInvalid, Detail: err.Error()}}
 	}
 	for _, dc := range cs.Devices {
-		if len(dc.Ops) == 0 {
+		// Informational detour ops are not drift: a device whose only
+		// divergence from spec is a standing reflex detour verifies
+		// clean (the operator ratifies or the reflex reverts).
+		muts, first := 0, Op{}
+		for _, op := range dc.Ops {
+			if op.Kind == OpDetour {
+				continue
+			}
+			if muts == 0 {
+				first = op
+			}
+			muts++
+		}
+		if muts == 0 {
 			continue
 		}
-		detail := fmt.Sprintf("%d ops short of spec (first: %s)", len(dc.Ops), dc.Ops[0])
+		detail := fmt.Sprintf("%d ops short of spec (first: %s)", muts, first)
 		errs = append(errs, DeviceError{Device: dc.Device, Kind: ErrVerifyFailed, Detail: detail})
 	}
 	return errs

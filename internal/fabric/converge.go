@@ -63,6 +63,11 @@ type ConvergeResult struct {
 	// Pending holds the devices still short of spec when the run ended
 	// — partial convergence is reported, never silently dropped.
 	Pending []DeviceError
+	// Detours holds the informational detour ops from the last diff:
+	// reflex-installed rewrites the converge recognized and left in
+	// place.  A run can be Converged with standing Detours; the
+	// operator ratifies them into spec or waits for the reflex revert.
+	Detours []Op
 	// BudgetExhausted distinguishes "gave up" from "nothing retryable
 	// was left".
 	BudgetExhausted bool
@@ -94,10 +99,11 @@ func (c *Controller) convergeAttempt(spec Spec, cfg ConvergeConfig, backoff nets
 		rep := c.Apply(cs)
 		round := Round{
 			At:      c.sim.Now(),
-			Ops:     cs.Ops(),
+			Ops:     cs.Mutations(),
 			Applied: rep.OpsApplied(),
 			Errors:  append(diffErrs, rep.Errors()...),
 		}
+		res.Detours = cs.Detours()
 		res.OpsApplied += round.Applied
 		res.Rounds = append(res.Rounds, round)
 

@@ -1,0 +1,76 @@
+package fabric
+
+import "repro/internal/netsim"
+
+// Detour is one reflex-installed rewrite currently in force on a
+// device: a controller-band route whose live action the dataplane's
+// reflex arm CAS-steered from its primary next-hop onto a
+// pre-authorized backup.  Priority is band-relative, like Route.
+type Detour struct {
+	EntryID     uint32
+	Version     uint32 // live entry version after the reflex write
+	DstIP       uint32
+	Priority    int
+	PrimaryPort int
+	BackupPort  int
+	Since       netsim.Time // when the reflex fired
+}
+
+// DetourSource reports the reflex rewrites currently in force on one
+// device (reflex.Arm implements it).  The controller consults it during
+// Diff so a reflex detour is recognized as a Detour op instead of
+// ordinary drift: the dataplane got there first, and the controller
+// must reconcile — ratify or restore — rather than blindly fight it.
+type DetourSource interface {
+	ActiveDetours() []Detour
+}
+
+// RegisterDetours attaches a device's reflex arm to the controller's
+// diff.  Re-registering a name replaces the source; nil detaches it.
+func (c *Controller) RegisterDetours(name string, src DetourSource) {
+	if c.detours == nil {
+		c.detours = make(map[string]DetourSource)
+	}
+	if src == nil {
+		delete(c.detours, name)
+		return
+	}
+	c.detours[name] = src
+}
+
+// detoursFor returns the device's active detours (nil when no source is
+// registered).  Order is the source's own (authorization order), which
+// is deterministic.
+func (c *Controller) detoursFor(name string) []Detour {
+	src, ok := c.detours[name]
+	if !ok {
+		return nil
+	}
+	return src.ActiveDetours()
+}
+
+// Ratify folds every active detour into a copy of the spec: a spec
+// route whose (DstIP, Priority, OutPort) matches a detour's primary is
+// rewritten to the backup port, making the dataplane's emergency
+// decision the declared steady state.  It returns the new spec and how
+// many routes were rewritten; converging the ratified spec then reads
+// the detoured fabric back as exactly at spec.
+func (c *Controller) Ratify(spec Spec) (Spec, int) {
+	out := Spec{Devices: make([]DeviceSpec, len(spec.Devices))}
+	ratified := 0
+	for i, d := range spec.Devices {
+		nd := d
+		nd.Routes = append([]Route(nil), d.Routes...)
+		for _, det := range c.detoursFor(d.Device) {
+			for ri, r := range nd.Routes {
+				if r.DstIP == det.DstIP && r.Priority == det.Priority &&
+					!r.Drop && r.OutPort == det.PrimaryPort {
+					nd.Routes[ri].OutPort = det.BackupPort
+					ratified++
+				}
+			}
+		}
+		out.Devices[i] = nd
+	}
+	return out, ratified
+}

@@ -276,7 +276,7 @@ func kindByName(name string) (faults.Kind, error) {
 func decodeEvent(n *yamlite.Node) (faults.Event, error) {
 	if err := knownKeys(n, "at", "kind", "target", "p",
 		"pgoodbad", "pbadgood", "lossgood", "lossbad",
-		"dstip", "bootdelay", "pps", "dstmac"); err != nil {
+		"dstip", "bootdelay", "pps", "dstmac", "dir"); err != nil {
 		return faults.Event{}, err
 	}
 	var ev faults.Event
@@ -316,6 +316,13 @@ func decodeEvent(n *yamlite.Node) (faults.Event, error) {
 		if ev.DstMAC, err = parseMAC(v.Str()); err != nil {
 			return faults.Event{}, err
 		}
+	}
+	if v := n.Get("dir"); v != nil {
+		f, err := v.Float()
+		if err != nil {
+			return faults.Event{}, err
+		}
+		ev.Dir = int(f)
 	}
 	return ev, nil
 }

@@ -84,6 +84,15 @@ const (
 	// ClearRogue stops the generator RogueTenant started on the
 	// target host.
 	ClearRogue
+	// LinkGrayDown is the unidirectional (gray) failure: only channel
+	// Dir of the registered link goes dark while the reverse direction
+	// keeps delivering.  Gray failures are the nastier real-world kind
+	// — a dead laser with a live receive path — and the reason
+	// liveness detection must prove the *forward* direction works
+	// rather than inferring health from arriving traffic.
+	LinkGrayDown
+	// LinkGrayUp restores channel Dir of the target link.
+	LinkGrayUp
 )
 
 // DefaultBootDelay is how long a rebooted switch stays dark when the
@@ -103,6 +112,8 @@ var kindNames = [...]string{
 	SwitchReboot:   "switch-reboot",
 	RogueTenant:    "rogue-tenant",
 	ClearRogue:     "clear-rogue",
+	LinkGrayDown:   "link-gray-down",
+	LinkGrayUp:     "link-gray-up",
 }
 
 // String names the kind.
@@ -117,7 +128,7 @@ func (k Kind) String() string {
 // injecting one (selects the span stage).
 func (k Kind) recovers() bool {
 	switch k {
-	case LinkUp, ClearLoss, ClearBlackhole, TCPUOn, ClearRogue:
+	case LinkUp, ClearLoss, ClearBlackhole, TCPUOn, ClearRogue, LinkGrayUp:
 		return true
 	}
 	return false
@@ -149,6 +160,11 @@ type Event struct {
 	PPS float64
 	// DstMAC is the destination RogueTenant forgeries are framed to.
 	DstMAC core.MAC
+
+	// Dir selects which registered channel of the link a gray failure
+	// darkens: index into the RegisterLink argument order, so for
+	// RegisterLink(name, aToB, bToA), Dir 0 kills the a→b direction.
+	Dir int
 }
 
 // Plan is a declarative fault schedule.  The same plan with the same
@@ -268,6 +284,15 @@ func (in *Injector) validate(ev Event) error {
 		if _, ok := in.links[ev.Target]; !ok {
 			return fmt.Errorf("unknown link %q", ev.Target)
 		}
+	case LinkGrayDown, LinkGrayUp:
+		chs, ok := in.links[ev.Target]
+		if !ok {
+			return fmt.Errorf("unknown link %q", ev.Target)
+		}
+		if ev.Dir < 0 || ev.Dir >= len(chs) {
+			return fmt.Errorf("direction %d out of range: link %q has %d channels",
+				ev.Dir, ev.Target, len(chs))
+		}
 	case Blackhole, ClearBlackhole, TCPUOff, TCPUOn, SwitchReboot:
 		if _, ok := in.switches[ev.Target]; !ok {
 			return fmt.Errorf("unknown switch %q", ev.Target)
@@ -319,6 +344,10 @@ func (in *Injector) apply(ev Event, seed int64) {
 		for _, ch := range in.links[ev.Target] {
 			ch.SetUp(true)
 		}
+	case LinkGrayDown:
+		in.links[ev.Target][ev.Dir].SetUp(false)
+	case LinkGrayUp:
+		in.links[ev.Target][ev.Dir].SetUp(true)
 	case LinkLoss:
 		for j, ch := range in.links[ev.Target] {
 			ch.SetLossModel(netsim.NewBernoulli(ev.P, seed+int64(j)))
@@ -440,14 +469,24 @@ func (in *Injector) recordSpan(ev Event) {
 	} else if h, ok := in.hosts[ev.Target]; ok {
 		node = uint32(h.MAC.Uint64() & 0xFFFFFF)
 	} else if chs := in.links[ev.Target]; len(chs) > 0 {
-		node = chs[0].TraceID()
+		// Gray events name the exact direction that changed state; the
+		// symmetric link events name the link by its first channel.
+		if ev.Kind == LinkGrayDown || ev.Kind == LinkGrayUp {
+			node = chs[ev.Dir].TraceID()
+		} else {
+			node = chs[0].TraceID()
+		}
 	}
 	stage := obs.StageFaultInject
 	if ev.Kind.recovers() {
 		stage = obs.StageFaultRecover
 	}
+	b := uint64(ev.DstIP)
+	if ev.Kind == LinkGrayDown || ev.Kind == LinkGrayUp {
+		b = uint64(ev.Dir)
+	}
 	in.tracer.Record(obs.SpanEvent{
 		At: int64(in.sim.Now()), UID: 0, Node: node,
-		Stage: stage, A: uint64(ev.Kind), B: uint64(ev.DstIP),
+		Stage: stage, A: uint64(ev.Kind), B: b,
 	})
 }

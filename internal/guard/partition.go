@@ -26,7 +26,8 @@ import (
 // Partitioner is not safe for concurrent use; the control plane
 // serializes tenancy changes.
 type Partitioner struct {
-	regions map[TenantID]mem.Region
+	regions  map[TenantID]mem.Region
+	reserved func() []mem.Region
 }
 
 // NewPartitioner builds an empty partitioner over the SRAM bank.
@@ -54,13 +55,18 @@ func (p *Partitioner) Grant(id TenantID, words int) (mem.Region, error) {
 	for _, r := range p.regions { //lint:allow maporder (sorted below)
 		taken = append(taken, r)
 	}
+	if p.reserved != nil {
+		taken = append(taken, p.reserved()...)
+	}
 	sort.Slice(taken, func(i, j int) bool { return taken[i].Base < taken[j].Base })
 	cursor := mem.SRAMBase
 	for _, r := range taken {
 		if int(r.Base-cursor) >= words {
 			break
 		}
-		cursor = r.End()
+		if r.End() > cursor {
+			cursor = r.End()
+		}
 	}
 	if int(mem.SRAMBase)+mem.SRAMWords-int(cursor) < words {
 		return mem.Region{}, fmt.Errorf("guard: SRAM exhausted: tenant %d wants %d words", id, words)
@@ -68,6 +74,28 @@ func (p *Partitioner) Grant(id TenantID, words int) (mem.Region, error) {
 	reg := mem.Region{Base: cursor, Words: words}
 	p.regions[id] = reg
 	return reg, nil
+}
+
+// SetReserved registers a callback listing SRAM regions the partitioner
+// must never carve into — operator task regions held by the switch's
+// mem.Allocator.  Without it a tenant partition can land exactly over a
+// live operator region (both sides first-fit from SRAMBase blind to each
+// other): the grant's zeroing wipes operator state, and the tenant's
+// relocated window aliases words like reflex liveness evidence.  The
+// callback is consulted on every Grant; nil (the default) reserves
+// nothing, which keeps the standalone partitioner property tests exact.
+func (p *Partitioner) SetReserved(fn func() []mem.Region) { p.reserved = fn }
+
+// Regions returns every live tenant partition, sorted by base address —
+// the partitioner-side half of the mutual-avoidance contract with the
+// operator allocator.
+func (p *Partitioner) Regions() []mem.Region {
+	out := make([]mem.Region, 0, len(p.regions))
+	for _, r := range p.regions { //lint:allow maporder (sorted before return)
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
 }
 
 // Revoke releases tenant id's partition, returning the region so the

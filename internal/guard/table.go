@@ -51,6 +51,15 @@ func NewTable() *Table {
 	}
 }
 
+// SetReserved forwards a reserved-region callback to the table's
+// partitioner so tenant partitions route around operator task regions;
+// see Partitioner.SetReserved.
+func (t *Table) SetReserved(fn func() []mem.Region) { t.part.SetReserved(fn) }
+
+// Partitions returns every live tenant partition, sorted by base
+// address, for the allocator side of the mutual-avoidance contract.
+func (t *Table) Partitions() []mem.Region { return t.part.Regions() }
+
 // Register admits tenant id with the given policy: acl governs its
 // namespace access, words sizes its SRAM partition, weight its share of
 // the switch's aggregate TPP admission rate, and burst its bucket

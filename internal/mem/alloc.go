@@ -25,7 +25,8 @@ func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
 // Allocator is not safe for concurrent use; the control plane serializes
 // allocation requests.
 type Allocator struct {
-	regions map[string]Region
+	regions  map[string]Region
+	reserved func() []Region
 }
 
 // NewAllocator builds an allocator over the switch's SRAM bank.
@@ -47,13 +48,18 @@ func (al *Allocator) Alloc(task string, words int) (Region, error) {
 	for _, r := range al.regions { //lint:allow maporder (sorted below)
 		taken = append(taken, r)
 	}
+	if al.reserved != nil {
+		taken = append(taken, al.reserved()...)
+	}
 	sort.Slice(taken, func(i, j int) bool { return taken[i].Base < taken[j].Base })
 	cursor := SRAMBase
 	for _, r := range taken {
 		if int(r.Base-cursor) >= words {
 			break
 		}
-		cursor = r.End()
+		if r.End() > cursor {
+			cursor = r.End()
+		}
 	}
 	if int(SRAMBase)+SRAMWords-int(cursor) < words {
 		return Region{}, fmt.Errorf("mem: SRAM exhausted: task %q wants %d words", task, words)
@@ -61,6 +67,26 @@ func (al *Allocator) Alloc(task string, words int) (Region, error) {
 	reg := Region{Base: cursor, Words: words}
 	al.regions[task] = reg
 	return reg, nil
+}
+
+// SetReserved registers a callback listing SRAM regions outside the
+// allocator's control — tenant partitions carved by the guard — that
+// Alloc must route around.  The callback is consulted on every Alloc,
+// so the no-go set tracks live tenancy without explicit invalidation.
+// A nil callback (the default, and every unguarded switch) reserves
+// nothing.
+func (al *Allocator) SetReserved(fn func() []Region) { al.reserved = fn }
+
+// Regions returns every live task region, sorted by base address — the
+// allocator-side half of the mutual-avoidance contract with the tenant
+// partitioner.
+func (al *Allocator) Regions() []Region {
+	out := make([]Region, 0, len(al.regions))
+	for _, r := range al.regions { //lint:allow maporder (sorted before return)
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
 }
 
 // Reset releases every region at once: the allocator state is switch

@@ -114,6 +114,20 @@ const (
 	// B=1 when the interval was bucketed (0 for the flow's first edge,
 	// which has no predecessor).
 	StageSpinEdge
+	// StageReflexFire: a reflex arm's CAS-checked TCAM rewrite steered
+	// a prefix onto its pre-authorized backup next-hop.  UID is the
+	// triggering transit packet (0 when congestion fired from a
+	// heartbeat check).  A=the rewritten entry id, B=the backup port.
+	StageReflexFire
+	// StageReflexRevert: a detoured prefix was CAS-restored to its
+	// primary next-hop after the egress healed and the flap-damping
+	// dwell elapsed.  A=the rewritten entry id, B=the primary port.
+	StageReflexRevert
+	// StageReflexStale: a reflex write was refused — the entry version
+	// raced (another writer touched the route since arming) or the
+	// per-switch reflex budget was exhausted.  A=the entry id,
+	// B=1 for a version race, 2 for budget exhaustion.
+	StageReflexStale
 )
 
 var stageNames = [...]string{
@@ -144,6 +158,9 @@ var stageNames = [...]string{
 	StageCStore:       "cstore-commit",
 	StageSweep:        "sweep",
 	StageSpinEdge:     "spin-edge",
+	StageReflexFire:   "reflex-fire",
+	StageReflexRevert: "reflex-revert",
+	StageReflexStale:  "reflex-stale",
 }
 
 // String names the stage.

@@ -1,0 +1,162 @@
+package reflex_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/netsim"
+	"repro/internal/tcam"
+)
+
+// leaf0Spec is the fabric spec matching the rig's leaf0 routing as
+// installed: primary forwarding for both remote hosts over spine 0.
+func leaf0Spec(r *rig) fabric.Spec {
+	return fabric.Spec{Devices: []fabric.DeviceSpec{{
+		Device: "leaf0",
+		Routes: []fabric.Route{
+			{DstIP: r.h10.IP, Priority: 10, OutPort: 0},
+			{DstIP: r.h11.IP, Priority: 11, OutPort: 0},
+			{DstIP: r.h00.IP, Priority: 12, OutPort: 2},
+			{DstIP: r.h01.IP, Priority: 13, OutPort: 3},
+		},
+	}}}
+}
+
+// The controller recognizes a live reflex detour: the diff reports it
+// as an informational op (zero mutations — converge does not fight the
+// emergency rewrite), Verify tolerates it, and Ratify folds it into a
+// spec the fabric then converges on cleanly.  Promote completes the
+// handoff by making the detour's port the arm's new primary.
+func TestControllerRatifiesDetour(t *testing.T) {
+	r := newRig(t, baseConfig(nil))
+	ctrl := fabric.New(r.sim)
+	ctrl.Register("leaf0", r.leaf[0])
+	ctrl.RegisterDetours("leaf0", r.arm)
+	spec := leaf0Spec(r)
+
+	// Healthy fabric: live state is at spec, nothing to report.
+	cs, errs, err := ctrl.Diff(spec)
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("Diff: %v %v", err, errs)
+	}
+	if !cs.Empty() {
+		t.Fatalf("healthy diff not empty:\n%s", cs)
+	}
+
+	// Kill the primary uplink; the reflex steers h10 onto spine 1.
+	r.sim.At(netsim.Millisecond, r.killPrimary)
+	r.sim.RunUntil(2 * netsim.Millisecond)
+	if r.arm.Fires() != 1 {
+		t.Fatalf("fires=%d, want 1", r.arm.Fires())
+	}
+
+	// The diff now carries exactly one informational detour op and no
+	// mutations: the controller sees the drift, attributes it to the
+	// reflex, and stands back.
+	cs, errs, err = ctrl.Diff(spec)
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("Diff after fire: %v %v", err, errs)
+	}
+	if got := cs.Mutations(); got != 0 {
+		t.Fatalf("detoured diff wants %d mutations:\n%s", got, cs)
+	}
+	dets := cs.Detours()
+	if len(dets) != 1 {
+		t.Fatalf("detour ops = %d, want 1:\n%s", len(dets), cs)
+	}
+	op := dets[0]
+	if op.EntryID != r.primaryEntry || op.BackupPort != 1 || op.Route.OutPort != 0 ||
+		op.Route.DstIP != r.h10.IP || op.Route.Priority != 10 {
+		t.Fatalf("detour op fields wrong: %+v", op)
+	}
+	if pending := ctrl.Verify(spec); len(pending) != 0 {
+		t.Fatalf("Verify rejects a recognized detour: %v", pending)
+	}
+
+	// Ratify the detour into the spec and converge: the fabric is then
+	// clean at the new routing, with no standing detours.
+	rat, n := ctrl.Ratify(spec)
+	if n != 1 {
+		t.Fatalf("Ratify folded %d detours, want 1", n)
+	}
+	var res fabric.ConvergeResult
+	ctrl.Converge(rat, fabric.ConvergeConfig{}, func(cr fabric.ConvergeResult) { res = cr })
+	r.sim.RunUntil(3 * netsim.Millisecond)
+	if !res.Converged {
+		t.Fatalf("converge on ratified spec failed: %+v", res)
+	}
+	if len(res.Detours) != 0 {
+		t.Fatalf("ratified converge still reports detours: %+v", res.Detours)
+	}
+
+	// Promote hands the arm its new primary; the detour clears without
+	// touching the TCAM.
+	if err := r.arm.Promote("h10-via-spine1"); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if len(r.arm.ActiveDetours()) != 0 {
+		t.Fatal("detour still active after promotion")
+	}
+	if a := r.entryAction(t, r.primaryEntry); a.OutPort != 1 {
+		t.Fatalf("entry action port %d after promote, want 1", a.OutPort)
+	}
+}
+
+// When a reflex arm loses the CAS discipline (another writer bumped the
+// entry version), its recorded detour no longer matches live state, so
+// the controller treats the drift as ordinary and restores the spec's
+// primary routing — the arm stands down and can be re-armed afterwards.
+func TestControllerRestoresStaleArm(t *testing.T) {
+	r := newRig(t, baseConfig(nil))
+	ctrl := fabric.New(r.sim)
+	ctrl.Register("leaf0", r.leaf[0])
+	ctrl.RegisterDetours("leaf0", r.arm)
+	spec := leaf0Spec(r)
+
+	r.sim.At(netsim.Millisecond, r.killPrimary)
+	r.sim.RunUntil(2 * netsim.Millisecond)
+	if r.arm.Fires() != 1 {
+		t.Fatalf("fires=%d, want 1", r.arm.Fires())
+	}
+
+	// Another writer touches the detoured entry: same action, bumped
+	// version.  The arm's recorded (EntryID, Version) no longer matches
+	// live state, so matchDetour must refuse the attribution.
+	if err := r.leaf[0].TCAM().Update(r.primaryEntry, tcam.Action{OutPort: 1}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	// Heal the link, then converge on the original spec: the drift is
+	// ordinary now, so the controller rewrites the entry back to the
+	// primary port.
+	r.healPrimary()
+	cs, _, err := ctrl.Diff(spec)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if got := cs.Mutations(); got != 1 {
+		t.Fatalf("stale-arm diff wants %d mutations, want 1 restore:\n%s", got, cs)
+	}
+	if len(cs.Detours()) != 0 {
+		t.Fatalf("stale arm still attributed as detour:\n%s", cs)
+	}
+	var res fabric.ConvergeResult
+	ctrl.Converge(spec, fabric.ConvergeConfig{}, func(cr fabric.ConvergeResult) { res = cr })
+	r.sim.RunUntil(3 * netsim.Millisecond)
+	if !res.Converged {
+		t.Fatalf("converge failed: %+v", res)
+	}
+	if a := r.entryAction(t, r.primaryEntry); a.OutPort != 0 {
+		t.Fatalf("entry action port %d after restore, want primary 0", a.OutPort)
+	}
+
+	// The arm noticed the lost race or the restore; Rearm recaptures
+	// the live entry (now at the primary) and re-arms it.
+	r.arm.Rearm()
+	if r.arm.Detoured("h10-via-spine1") || r.arm.Stale("h10-via-spine1") {
+		t.Fatal("arm not re-armed after restore")
+	}
+	if len(r.arm.ActiveDetours()) != 0 {
+		t.Fatal("spurious active detour after re-arm")
+	}
+}

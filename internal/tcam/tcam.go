@@ -107,6 +107,40 @@ func (t *Table) Update(id uint32, action Action) error {
 	return nil
 }
 
+// ErrVersionRaced is returned by UpdateIfVersion when the entry's live
+// version no longer matches the writer's expectation: another writer
+// mutated the entry since this writer read it, and the write was
+// refused rather than silently clobbering the newer state.
+var ErrVersionRaced = fmt.Errorf("tcam: entry version raced")
+
+// UpdateIfVersion is the compare-and-swap form of Update: the action is
+// installed only if the entry's live version still equals expect — the
+// version the writer captured when it read the entry.  On success both
+// the entry version and the table version bump, exactly like Update;
+// on a version mismatch nothing changes and the error wraps
+// ErrVersionRaced so callers can distinguish a lost-update race from a
+// vanished entry.
+//
+// Versions are uint32 counters and wrap at 2^32; correctness of the
+// compare does not depend on ordering, only equality, so a wrapped
+// counter still detects every race except an exact 2^32-mutation ABA —
+// far beyond any plausible interleaving between one read-back and one
+// write.
+func (t *Table) UpdateIfVersion(id, expect uint32, action Action) error {
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("tcam: no entry %d", id)
+	}
+	if e.Version != expect {
+		return fmt.Errorf("%w: entry %d at version %d, writer expected %d",
+			ErrVersionRaced, id, e.Version, expect)
+	}
+	e.Action = action
+	e.Version++
+	t.version++
+	return nil
+}
+
 // Remove deletes rule id.
 func (t *Table) Remove(id uint32) error {
 	if _, ok := t.entries[id]; !ok {

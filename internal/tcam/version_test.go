@@ -1,0 +1,170 @@
+package tcam
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Every mutation path must bump the table version, and the mutating
+// paths that touch an entry must bump the entry version too — the
+// invariant the versioned-write discipline (ndb's stale-state
+// detection, the reflex CAS) is built on.
+func TestVersionBumpsOnEveryMutationPath(t *testing.T) {
+	tbl := New()
+	if tbl.Version() != 0 {
+		t.Fatalf("fresh table version = %d, want 0", tbl.Version())
+	}
+
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 1))
+	id := tbl.Insert(10, v, m, Action{OutPort: 1})
+	if tbl.Version() != 1 {
+		t.Fatalf("after Insert: table version = %d, want 1", tbl.Version())
+	}
+	e, _ := tbl.Get(id)
+	if e.Version != 1 {
+		t.Fatalf("fresh entry version = %d, want 1", e.Version)
+	}
+
+	if err := tbl.Update(id, Action{OutPort: 2}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if tbl.Version() != 2 {
+		t.Fatalf("after Update: table version = %d, want 2", tbl.Version())
+	}
+	if e, _ = tbl.Get(id); e.Version != 2 {
+		t.Fatalf("after Update: entry version = %d, want 2", e.Version)
+	}
+
+	if err := tbl.UpdateIfVersion(id, 2, Action{OutPort: 3}); err != nil {
+		t.Fatalf("UpdateIfVersion: %v", err)
+	}
+	if tbl.Version() != 3 {
+		t.Fatalf("after CAS: table version = %d, want 3", tbl.Version())
+	}
+	if e, _ = tbl.Get(id); e.Version != 3 {
+		t.Fatalf("after CAS: entry version = %d, want 3", e.Version)
+	}
+
+	if err := tbl.Remove(id); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if tbl.Version() != 4 {
+		t.Fatalf("after Remove: table version = %d, want 4", tbl.Version())
+	}
+
+	// A refused CAS is not a mutation: neither version moves.
+	id2 := tbl.Insert(10, v, m, Action{OutPort: 1})
+	before := tbl.Version()
+	if err := tbl.UpdateIfVersion(id2, 99, Action{OutPort: 7}); err == nil {
+		t.Fatal("stale CAS succeeded")
+	}
+	if tbl.Version() != before {
+		t.Fatalf("refused CAS moved table version %d -> %d", before, tbl.Version())
+	}
+	if e, _ = tbl.Get(id2); e.Version != 1 {
+		t.Fatalf("refused CAS moved entry version to %d", e.Version)
+	}
+	if e.Action.OutPort != 1 {
+		t.Fatalf("refused CAS changed the action to port %d", e.Action.OutPort)
+	}
+}
+
+// Two writers race on one entry: both read version 1, writer A commits
+// first, writer B's CAS must be refused — the lost update is detected,
+// not silently absorbed.  The ordering is deterministic (plain
+// sequential calls), exercising exactly the interleaving the dataplane
+// reflex and the fabric controller can produce between one read-back
+// and one write.
+func TestCASLostUpdateRace(t *testing.T) {
+	tbl := New()
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 2))
+	id := tbl.Insert(10, v, m, Action{OutPort: 1})
+
+	a, _ := tbl.Get(id) // writer A read-back
+	b, _ := tbl.Get(id) // writer B read-back (same version)
+
+	if err := tbl.UpdateIfVersion(id, a.Version, Action{OutPort: 2}); err != nil {
+		t.Fatalf("writer A CAS: %v", err)
+	}
+	err := tbl.UpdateIfVersion(id, b.Version, Action{OutPort: 3})
+	if err == nil {
+		t.Fatal("writer B's stale CAS succeeded: lost update")
+	}
+	if !errors.Is(err, ErrVersionRaced) {
+		t.Fatalf("writer B error = %v, want ErrVersionRaced", err)
+	}
+	e, _ := tbl.Get(id)
+	if e.Action.OutPort != 2 {
+		t.Fatalf("entry action port = %d, want writer A's 2", e.Action.OutPort)
+	}
+	if e.Version != a.Version+1 {
+		t.Fatalf("entry version = %d, want %d", e.Version, a.Version+1)
+	}
+
+	// Writer B re-reads and retries: the CAS discipline converges.
+	b, _ = tbl.Get(id)
+	if err := tbl.UpdateIfVersion(id, b.Version, Action{OutPort: 3}); err != nil {
+		t.Fatalf("writer B retry after re-read: %v", err)
+	}
+	if e, _ = tbl.Get(id); e.Action.OutPort != 3 {
+		t.Fatalf("entry action port = %d after retry, want 3", e.Action.OutPort)
+	}
+}
+
+// Version counters are uint32 and wrap: the CAS must keep working
+// across the wrap (equality compare, not ordering), and a stale
+// expectation from before the wrap must still be refused.
+func TestVersionWraparound(t *testing.T) {
+	tbl := New()
+	v, m := DstIPRule(core.IPv4Addr(10, 0, 0, 3))
+	id := tbl.Insert(10, v, m, Action{OutPort: 1})
+
+	// Drive the entry to the wrap point directly (4B Updates would take
+	// minutes); in-package access stands in for a long-lived entry.
+	tbl.entries[id].Version = ^uint32(0)
+
+	if err := tbl.UpdateIfVersion(id, ^uint32(0), Action{OutPort: 2}); err != nil {
+		t.Fatalf("CAS at max version: %v", err)
+	}
+	e, _ := tbl.Get(id)
+	if e.Version != 0 {
+		t.Fatalf("entry version after wrap = %d, want 0", e.Version)
+	}
+	if e.Action.OutPort != 2 {
+		t.Fatalf("entry action port = %d, want 2", e.Action.OutPort)
+	}
+
+	// A writer still holding the pre-wrap version must be refused.
+	if err := tbl.UpdateIfVersion(id, ^uint32(0), Action{OutPort: 9}); !errors.Is(err, ErrVersionRaced) {
+		t.Fatalf("stale pre-wrap CAS error = %v, want ErrVersionRaced", err)
+	}
+
+	// And the post-wrap version CASes normally.
+	if err := tbl.UpdateIfVersion(id, 0, Action{OutPort: 3}); err != nil {
+		t.Fatalf("CAS at wrapped version 0: %v", err)
+	}
+	if e, _ = tbl.Get(id); e.Version != 1 || e.Action.OutPort != 3 {
+		t.Fatalf("post-wrap entry = v%d port %d, want v1 port 3", e.Version, e.Action.OutPort)
+	}
+
+	// The table version wraps independently and keeps counting.
+	tbl.version = ^uint32(0)
+	_ = tbl.Update(id, Action{OutPort: 4})
+	if tbl.Version() != 0 {
+		t.Fatalf("table version after wrap = %d, want 0", tbl.Version())
+	}
+}
+
+// CAS on a vanished entry is a distinct failure from a version race.
+func TestCASMissingEntry(t *testing.T) {
+	tbl := New()
+	err := tbl.UpdateIfVersion(42, 1, Action{OutPort: 1})
+	if err == nil {
+		t.Fatal("CAS on missing entry succeeded")
+	}
+	if errors.Is(err, ErrVersionRaced) {
+		t.Fatal("missing entry misreported as a version race")
+	}
+}

@@ -184,7 +184,7 @@ func TestRepoBaselineCleanAndCurrent(t *testing.T) {
 	}
 	pkgs := []string{
 		"../../internal/core", "../../internal/tcpu", "../../internal/netsim",
-		"../../internal/asic", "../../internal/endhost",
+		"../../internal/asic", "../../internal/endhost", "../../internal/reflex",
 	}
 	anns, allowed, err := collectAnnotations(pkgs)
 	if err != nil {
@@ -203,7 +203,7 @@ func TestRepoBaselineCleanAndCurrent(t *testing.T) {
 	defer os.Chdir(wd)
 	out, err := buildDiagnostics([]string{
 		"./internal/core", "./internal/tcpu", "./internal/netsim",
-		"./internal/asic", "./internal/endhost",
+		"./internal/asic", "./internal/endhost", "./internal/reflex",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestRepoBaselineCleanAndCurrent(t *testing.T) {
 	// the ../../ prefix; rebuild from the repo root for stable keys.
 	anns, allowed, err = collectAnnotations([]string{
 		"internal/core", "internal/tcpu", "internal/netsim",
-		"internal/asic", "internal/endhost",
+		"internal/asic", "internal/endhost", "internal/reflex",
 	})
 	if err != nil {
 		t.Fatal(err)
